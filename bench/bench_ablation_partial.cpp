@@ -1,0 +1,119 @@
+// Ablation of partial deployment (§2.3): "a partial deployment of
+// NetSeer to monitor flows of specific applications can also enable
+// fine-grained network monitoring for these applications." Sweep the
+// monitored fraction of the address space and measure report overhead
+// and coverage of monitored vs unmonitored flows.
+#include "core/netseer_app.h"
+#include "scenarios/harness.h"
+#include "table.h"
+#include "traffic/generator.h"
+
+using namespace netseer;
+using namespace netseer::bench;
+
+namespace {
+
+struct Outcome {
+  double overhead;
+  double monitored_coverage;
+  double unmonitored_coverage;
+  std::uint64_t filtered;
+};
+
+Outcome run(int monitored_tors) {
+  scenarios::HarnessOptions options;
+  options.seed = 17;
+  options.topo.host_rate = util::BitRate::gbps(5);
+  options.topo.fabric_rate = util::BitRate::gbps(20);
+  // Monitor the address space of the first `monitored_tors` ToRs:
+  // hosts are 10.<pod>.<tor>.x, i.e. /24 per ToR.
+  for (int t = 0; t < monitored_tors; ++t) {
+    options.netseer.monitored_prefixes.push_back(packet::Ipv4Prefix{
+        packet::Ipv4Addr::from_octets(10, static_cast<std::uint8_t>(t / 2),
+                                      static_cast<std::uint8_t>(t % 2), 0),
+        24});
+  }
+  scenarios::Harness harness{options};
+  auto& tb = harness.testbed();
+
+  traffic::GeneratorConfig gen;
+  gen.sizes = &traffic::web();
+  gen.load = 0.5;
+  gen.flow_rate = util::BitRate::gbps(1);
+  gen.stop = util::milliseconds(15);
+  harness.add_workload(gen);
+
+  // Lossy fabric links on both a monitored ToR's uplink and the LAST
+  // ToR's uplink (unmonitored unless all four ToRs are in scope), so the
+  // filter demonstrably drops out-of-scope events.
+  net::LinkFaultModel faults;
+  faults.drop_prob = 0.003;
+  tb.tors[0]->link(static_cast<util::PortId>(options.topo.hosts_per_tor))
+      ->set_fault_model(faults);
+  tb.tors[3]->link(static_cast<util::PortId>(options.topo.hosts_per_tor))
+      ->set_fault_model(faults);
+
+  harness.run_and_settle(util::milliseconds(25));
+
+  const auto in_scope = [&](const packet::FlowKey& flow) {
+    for (const auto& prefix : options.netseer.monitored_prefixes) {
+      if (prefix.contains(flow.src) || prefix.contains(flow.dst)) return true;
+    }
+    return options.netseer.monitored_prefixes.empty();
+  };
+
+  std::size_t monitored_truth = 0, monitored_hit = 0;
+  std::size_t unmonitored_truth = 0, unmonitored_hit = 0;
+  const auto detected = harness.netseer_groups(core::EventType::kDrop);
+  for (const auto& group : harness.truth().groups(core::EventType::kDrop)) {
+    // Recover the flow key by membership query against detected groups;
+    // ground-truth events carry the flow.
+    (void)group;
+  }
+  for (const auto& ev : harness.truth().events()) {
+    if (ev.type != core::EventType::kDrop) continue;
+    const monitors::EventGroup group{ev.node, ev.flow.hash64(), core::EventType::kDrop};
+    if (in_scope(ev.flow)) {
+      ++monitored_truth;
+      monitored_hit += detected.contains(group);
+    } else {
+      ++unmonitored_truth;
+      unmonitored_hit += detected.contains(group);
+    }
+  }
+
+  Outcome outcome;
+  const auto funnel = harness.total_funnel();
+  outcome.overhead = funnel.overhead_ratio();
+  outcome.monitored_coverage =
+      monitored_truth ? static_cast<double>(monitored_hit) / monitored_truth : 1.0;
+  outcome.unmonitored_coverage =
+      unmonitored_truth ? static_cast<double>(unmonitored_hit) / unmonitored_truth : -1.0;
+  std::uint64_t filtered = 0;
+  for (std::size_t i = 0; i < harness.app_count(); ++i) {
+    filtered += harness.app(i).filtered_events();
+  }
+  outcome.filtered = filtered;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  print_title("Ablation — partial deployment (§2.3)");
+  print_paper("monitoring only specific applications' flows still gives them full coverage");
+
+  std::printf("\n  %-16s %10s %12s %14s %12s\n", "monitored ToRs", "overhead",
+              "cov(monitored)", "cov(other)", "filtered ev");
+  for (int tors : {4, 2, 1}) {
+    const auto outcome = run(tors);
+    std::printf("  %-16d %10s %12s %14s %12llu\n", tors, pct(outcome.overhead).c_str(),
+                pct(outcome.monitored_coverage).c_str(),
+                outcome.unmonitored_coverage < 0 ? "n/a"
+                                                 : pct(outcome.unmonitored_coverage).c_str(),
+                static_cast<unsigned long long>(outcome.filtered));
+  }
+  print_note("coverage of in-scope flows stays full while report overhead and event");
+  print_note("volume shrink with the monitored fraction; out-of-scope events are filtered.");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Microbenchmarks (google-benchmark) of the hot NetSeer data structures:
+//  - FP elimination with vs without the pipeline's pre-computed hash
+//    (§3.6 claims offloading saves 71.4% of CPU cycles, 2.5x capacity);
+//  - FP elimination vs resident flow count (the Fig. 14b curve);
+//  - group-cache offers (Algorithm 1), the per-event-packet cost;
+//  - 24-byte event record encode/decode;
+//  - inter-switch TX tagging+recording, the per-packet egress cost.
+#include <benchmark/benchmark.h>
+
+#include "core/detect/interswitch.h"
+#include "core/event.h"
+#include "core/group_cache.h"
+#include "core/switch_cpu.h"
+#include "packet/builder.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace netseer;
+
+std::vector<core::FlowEvent> make_events(std::size_t n, std::uint64_t seed = 7) {
+  util::Rng rng(seed);
+  std::vector<core::FlowEvent> events;
+  events.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    packet::FlowKey flow;
+    flow.src.value = static_cast<std::uint32_t>(rng.next());
+    flow.dst.value = static_cast<std::uint32_t>(rng.next());
+    flow.proto = 6;
+    flow.sport = static_cast<std::uint16_t>(rng.next());
+    flow.dport = 80;
+    events.push_back(core::make_event(core::EventType::kDrop, flow, 1, 0));
+  }
+  return events;
+}
+
+void BM_FpEliminate(benchmark::State& state) {
+  const bool offload = state.range(0) != 0;
+  const auto flows = static_cast<std::size_t>(state.range(1));
+  core::FpEliminatorConfig config;
+  config.use_precomputed_hash = offload;
+  config.max_entries = flows * 2 + 1024;
+  core::FpEliminator fp(config);
+  const auto events = make_events(flows);
+  for (const auto& ev : events) (void)fp.admit(ev, 0);
+
+  std::size_t i = 0;
+  util::SimTime t = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fp.admit(events[i], ++t));
+    if (++i == events.size()) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(offload ? "precomputed-hash" : "cpu-recomputes-hash");
+}
+BENCHMARK(BM_FpEliminate)
+    ->ArgsProduct({{0, 1}, {1 << 10, 1 << 14, 1 << 17, 1 << 20}})
+    ->ArgNames({"offload", "flows"});
+
+void BM_GroupCacheOffer(benchmark::State& state) {
+  const auto flows = static_cast<std::size_t>(state.range(0));
+  core::GroupCache cache(core::GroupCacheConfig{.entries = 4096});
+  const auto events = make_events(flows);
+  std::size_t i = 0;
+  std::uint64_t sink = 0;
+  const auto emit = [&sink](const core::FlowEvent& ev) { sink += ev.counter; };
+  for (auto _ : state) {
+    cache.offer(events[i], emit);
+    if (++i == events.size()) i = 0;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GroupCacheOffer)->Arg(16)->Arg(1024)->Arg(65536);
+
+void BM_EventSerialize(benchmark::State& state) {
+  const auto events = make_events(256);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(events[i].serialize());
+    if (++i == events.size()) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventSerialize);
+
+void BM_EventParse(benchmark::State& state) {
+  const auto events = make_events(256);
+  std::vector<std::array<std::byte, core::FlowEvent::kWireSize>> raws;
+  for (const auto& ev : events) raws.push_back(ev.serialize());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::FlowEvent::parse(raws[i]));
+    if (++i == raws.size()) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventParse);
+
+void BM_InterSwitchTx(benchmark::State& state) {
+  core::InterSwitchConfig config;
+  config.ring_slots = static_cast<std::size_t>(state.range(0));
+  core::InterSwitchTx tx(config);
+  auto pkt = packet::make_tcp(packet::FlowKey{packet::Ipv4Addr::from_octets(1, 1, 1, 1),
+                                              packet::Ipv4Addr::from_octets(2, 2, 2, 2), 6,
+                                              1000, 80},
+                              1000);
+  const auto emit = [](const packet::FlowKey&, std::uint32_t) {};
+  for (auto _ : state) {
+    tx.on_tx(pkt, emit);
+    benchmark::DoNotOptimize(pkt.seq_tag);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InterSwitchTx)->Arg(1024)->Arg(65536);
+
+void BM_FlowKeyHash(benchmark::State& state) {
+  const auto events = make_events(256);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(events[i].flow.crc32());
+    if (++i == events.size()) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlowKeyHash);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Figure 12: circulating-event-batching capacity versus batch size.
+// Paper: throughput rises with batch size to ~86 Meps / ~17.7 Gb/s.
+// The analytic model is cross-checked by actually running the simulated
+// CebpBatcher to saturation at a small scale.
+#include "core/capacity.h"
+#include "core/cebp.h"
+#include "core/event_stack.h"
+#include "table.h"
+
+using namespace netseer;
+using namespace netseer::bench;
+
+namespace {
+
+/// Drive the real CebpBatcher at saturation and measure delivered eps.
+double simulated_eps(int batch_size) {
+  sim::Simulator sim;
+  core::EventStack stack(1 << 20);
+  core::CebpConfig config;
+  config.batch_size = batch_size;
+  std::uint64_t delivered = 0;
+  core::CebpBatcher batcher(sim, 1, stack, config,
+                            [&](core::EventBatch&& batch) { delivered += batch.events.size(); });
+
+  const auto flow = packet::FlowKey{packet::Ipv4Addr::from_octets(1, 1, 1, 1),
+                                    packet::Ipv4Addr::from_octets(2, 2, 2, 2), 6, 1, 2};
+  const auto ev = core::make_event(core::EventType::kDrop, flow, 1, 0);
+  // Keep the stack saturated while the clock advances 2 ms.
+  const util::SimTime horizon = util::milliseconds(2);
+  for (util::SimTime t = 0; t < horizon; t += util::microseconds(50)) {
+    sim.schedule_at(t, [&] {
+      while (stack.size() < 100000 && stack.push(ev)) {
+      }
+      // One notify per push in real operation; here a bulk refill wakes
+      // every idle CEBP.
+      for (int i = 0; i < config.num_cebps; ++i) batcher.notify();
+    });
+  }
+  sim.run_until(horizon);
+  return static_cast<double>(delivered) / util::to_seconds(horizon);
+}
+
+}  // namespace
+
+int main() {
+  print_title("Figure 12 — event batching capacity vs batch size");
+  print_paper("~86 Meps / 17.7 Gb/s around batch size 50-70");
+
+  core::CebpConfig config;
+  std::printf("\n  %-10s %12s %12s %14s\n", "batch", "model Meps", "model Gb/s",
+              "simulated Meps");
+  for (int batch : {1, 5, 10, 20, 30, 40, 50, 60, 70}) {
+    const double model_eps = core::capacity::cebp_throughput_eps(config, batch);
+    const double model_gbps = core::capacity::cebp_throughput_gbps(config, batch);
+    const double sim_eps = simulated_eps(batch);
+    std::printf("  %-10d %12.1f %12.2f %14.1f\n", batch, model_eps / 1e6, model_gbps,
+                sim_eps / 1e6);
+  }
+  print_note("model: num_cebps * batch / (batch*recirc + flush); simulated: the actual");
+  print_note("CebpBatcher run to saturation in virtual time.");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 8(a): the five real incident replays — cause-location time with
+// NetSeer (measured in-simulation: fault onset -> first attributable
+// backend event) versus the operator hours the paper reports without it.
+#include "scenarios/incidents.h"
+#include "table.h"
+
+using namespace netseer;
+using namespace netseer::bench;
+
+int main() {
+  print_title("Figure 8(a) — incident cause-location time, with vs without NetSeer");
+  print_paper("location time cut 61%-99%: e.g. #1 162min -> 14s, #3 ~17h -> 30s");
+
+  scenarios::IncidentSuite suite(42);
+  const auto reports = suite.run_all();
+
+  std::printf("\n  %-3s %-42s %12s %12s %14s\n", "id", "incident", "paper w/o", "paper w/",
+              "measured w/");
+  for (const auto& report : reports) {
+    char measured[48];
+    if (report.network_exonerated) {
+      std::snprintf(measured, sizeof(measured), "exonerated");
+    } else if (report.located()) {
+      std::snprintf(measured, sizeof(measured), "%s",
+                    util::format_duration(report.detection_latency).c_str());
+    } else {
+      std::snprintf(measured, sizeof(measured), "NOT FOUND");
+    }
+    std::printf("  %-3s %-42s %9.0f min %9.0f s %14s\n", report.id.c_str(),
+                report.name.c_str(), report.paper_without_minutes, report.paper_with_seconds,
+                measured);
+    std::printf("      -> %s\n", report.evidence.c_str());
+  }
+  print_note("measured w/ = simulated time from fault onset to the first backend event");
+  print_note("naming the victim flow and faulty device (plus query round-trip in practice).");
+  return 0;
+}

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <string>
+
+#include "core/netseer_app.h"
+#include "scenarios/harness.h"
+#include "traffic/distributions.h"
+
+namespace netseer::bench {
+
+/// Per-monitor coverage of one event class: the fraction of ground-truth
+/// (node, flow, type) groups each monitoring system explained.
+struct CoverageRow {
+  double netseer = 0;
+  double netsight = 0;
+  double everflow = 0;
+  double sample10 = 0;
+  double sample100 = 0;
+  double sample1000 = 0;
+  double pingmesh_existence = 0;  // existence only — never flow-attributed
+  std::size_t truth_groups = 0;
+};
+
+/// Everything the Fig. 9/10/11/13 harnesses need from one workload run.
+struct WorkloadResult {
+  std::string workload;
+
+  CoverageRow path_change;
+  CoverageRow pipeline_drop;
+  CoverageRow mmu_drop;
+  CoverageRow interswitch_drop;
+  CoverageRow congestion;
+
+  // Overheads as a fraction of carried application traffic (Fig. 11).
+  std::uint64_t traffic_bytes = 0;
+  double netseer_overhead = 0;
+  double netsight_overhead = 0;
+  double everflow_overhead = 0;
+  double sample10_overhead = 0;
+  double sample100_overhead = 0;
+  double sample1000_overhead = 0;
+  double pingmesh_overhead = 0;
+  double snmp_overhead = 0;
+
+  core::FunnelStats funnel;  // Fig. 13 per-step accounting
+
+  // §5.2 accuracy claim checked against omniscient ground truth.
+  bool netseer_zero_fn = true;
+  bool netseer_zero_fp = true;
+
+  std::uint64_t netseer_events_stored = 0;
+};
+
+struct ExperimentConfig {
+  std::uint64_t seed = 7;
+  util::SimTime duration = util::milliseconds(20);
+  double load = 0.7;
+  /// Scaled-down host rate keeps bench runs tractable while preserving
+  /// contention ratios (hosts:fabric = 1:4, as in the paper's testbed).
+  util::BitRate host_rate = util::BitRate::gbps(5);
+  util::BitRate fabric_rate = util::BitRate::gbps(20);
+};
+
+/// Run the §5.2 benchmark setup on one workload: all-to-all traffic at
+/// `load`, with congestion/MMU drops arising naturally and inter-switch
+/// drops, pipeline drops, and path changes injected mid-run (exactly the
+/// paper's methodology), all monitors attached.
+[[nodiscard]] WorkloadResult run_workload_experiment(const traffic::EmpiricalCdf& workload,
+                                                     const ExperimentConfig& config = {});
+
+}  // namespace netseer::bench

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace netseer::bench {
+
+/// Tiny helpers so every bench binary prints the same way: a title, the
+/// paper's expectation, then the measured rows.
+inline void print_title(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_note(const std::string& note) { std::printf("  %s\n", note.c_str()); }
+
+inline void print_paper(const std::string& expectation) {
+  std::printf("  paper: %s\n", expectation.c_str());
+}
+
+/// Render a ratio as a percentage with sensible precision for tiny values.
+inline std::string pct(double fraction) {
+  char buf[32];
+  if (fraction == 0.0) {
+    return "0%";
+  } else if (fraction < 0.0001) {
+    std::snprintf(buf, sizeof(buf), "%.4f%%", fraction * 100);
+  } else if (fraction < 0.01) {
+    std::snprintf(buf, sizeof(buf), "%.3f%%", fraction * 100);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100);
+  }
+  return buf;
+}
+
+}  // namespace netseer::bench

@@ -1,0 +1,221 @@
+// netseer_sim — command-line experiment driver. Assemble a topology, a
+// workload, and a fault from flags; run it with NetSeer deployed
+// everywhere; print what the backend knows.
+//
+//   ./build/examples/netseer_sim --topology testbed --workload web \
+//       --load 0.6 --duration-ms 15 --fault lossy-link --seed 7
+//
+// Faults: none | lossy-link | blackhole | parity | acl | incast
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "packet/builder.h"
+#include "scenarios/harness.h"
+#include "traffic/generator.h"
+
+using namespace netseer;
+
+namespace {
+
+struct Args {
+  std::string topology = "testbed";
+  std::string workload = "web";
+  double load = 0.6;
+  int duration_ms = 15;
+  std::string fault = "lossy-link";
+  std::uint64_t seed = 7;
+};
+
+const traffic::EmpiricalCdf* workload_by_name(const std::string& name) {
+  for (const auto* cdf : traffic::all_workloads()) {
+    std::string lower = cdf->name();
+    for (auto& c : lower) c = static_cast<char>(std::tolower(c));
+    if (lower == name) return cdf;
+  }
+  return nullptr;
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (flag == "--topology") {
+      if (const char* v = next()) args.topology = v; else return false;
+    } else if (flag == "--workload") {
+      if (const char* v = next()) args.workload = v; else return false;
+    } else if (flag == "--load") {
+      if (const char* v = next()) args.load = std::atof(v); else return false;
+    } else if (flag == "--duration-ms") {
+      if (const char* v = next()) args.duration_ms = std::atoi(v); else return false;
+    } else if (flag == "--fault") {
+      if (const char* v = next()) args.fault = v; else return false;
+    } else if (flag == "--seed") {
+      if (const char* v = next()) args.seed = std::strtoull(v, nullptr, 10); else return false;
+    } else if (flag == "--help" || flag == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void usage() {
+  std::puts("netseer_sim --topology testbed|fat4|fat6|fat8 --workload dctcp|vl2|cache|hadoop|web");
+  std::puts("            --load <0..1> --duration-ms <n> --seed <n>");
+  std::puts("            --fault none|lossy-link|blackhole|parity|acl|incast");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) {
+    usage();
+    return 2;
+  }
+  const auto* workload = workload_by_name(args.workload);
+  if (workload == nullptr) {
+    std::fprintf(stderr, "unknown workload '%s'\n", args.workload.c_str());
+    usage();
+    return 2;
+  }
+
+  scenarios::HarnessOptions options;
+  options.seed = args.seed;
+  options.topo.host_rate = util::BitRate::gbps(5);
+  options.topo.fabric_rate = util::BitRate::gbps(20);
+  if (args.topology.rfind("fat", 0) == 0) {
+    const int k = std::atoi(args.topology.c_str() + 3);
+    if (k < 2 || k % 2) {
+      std::fprintf(stderr, "bad fat-tree arity in '%s'\n", args.topology.c_str());
+      return 2;
+    }
+    options.topo.num_pods = k;
+    options.topo.aggs_per_pod = k / 2;
+    options.topo.tors_per_pod = k / 2;
+    options.topo.num_cores = (k / 2) * (k / 2);
+    options.topo.hosts_per_tor = k / 2;
+  } else if (args.topology != "testbed") {
+    std::fprintf(stderr, "unknown topology '%s'\n", args.topology.c_str());
+    return 2;
+  }
+
+  scenarios::Harness harness{options};
+  auto& tb = harness.testbed();
+  const auto duration = util::milliseconds(args.duration_ms);
+
+  traffic::GeneratorConfig gen;
+  gen.sizes = workload;
+  gen.load = args.load;
+  gen.flow_rate = util::BitRate::gbps(1);
+  gen.stop = duration;
+  harness.add_workload(gen);
+
+  const util::SimTime onset = duration / 3;
+  std::string fault_desc = "none";
+  if (args.fault == "lossy-link") {
+    net::Link* bad =
+        tb.tors[0]->link(static_cast<util::PortId>(options.topo.hosts_per_tor));
+    harness.simulator().schedule_at(onset, [bad] {
+      net::LinkFaultModel faults;
+      faults.drop_prob = 0.005;
+      faults.corrupt_prob = 0.002;
+      bad->set_fault_model(faults);
+    });
+    fault_desc = "silent loss+corruption on tor0-0 uplink";
+  } else if (args.fault == "blackhole") {
+    harness.simulator().schedule_at(onset, [&tb] {
+      tb.aggs[0]->routes().remove(packet::Ipv4Prefix{tb.hosts[1]->addr(), 32});
+    });
+    fault_desc = "route removed for " + tb.hosts[1]->addr().to_string() + " at agg0-0";
+  } else if (args.fault == "parity") {
+    harness.simulator().schedule_at(onset, [&tb] {
+      tb.aggs[0]->routes().set_corrupted(packet::Ipv4Prefix{tb.hosts[1]->addr(), 32}, true);
+    });
+    fault_desc = "parity-corrupted route entry at agg0-0";
+  } else if (args.fault == "acl") {
+    harness.simulator().schedule_at(onset, [&tb] {
+      pdp::AclRule rule;
+      rule.rule_id = 700;
+      rule.dst = packet::Ipv4Prefix{tb.hosts[2]->addr(), 32};
+      rule.permit = false;
+      tb.tors[0]->acl().add_rule(rule);
+    });
+    fault_desc = "deny rule 700 installed at tor0-0";
+  } else if (args.fault == "incast") {
+    std::vector<net::Host*> senders(
+        tb.hosts.begin() + static_cast<std::ptrdiff_t>(tb.hosts.size() / 2), tb.hosts.end());
+    traffic::launch_incast(senders, tb.hosts[0]->addr(), 150 * 1000, 1000, onset);
+    fault_desc = "incast into " + tb.hosts[0]->addr().to_string();
+  } else if (args.fault != "none") {
+    std::fprintf(stderr, "unknown fault '%s'\n", args.fault.c_str());
+    return 2;
+  }
+
+  std::printf("topology=%s (%zu switches, %zu hosts)  workload=%s load=%.0f%%  fault=%s\n",
+              args.topology.c_str(), tb.all_switches().size(), tb.hosts.size(),
+              workload->name().c_str(), 100 * args.load, fault_desc.c_str());
+
+  harness.run_and_settle(duration + util::milliseconds(15));
+
+  const auto funnel = harness.total_funnel();
+  std::printf("\ntraffic: %.1f MB across %llu packets; monitoring overhead %.4f%%\n",
+              static_cast<double>(funnel.traffic_bytes) / 1e6,
+              static_cast<unsigned long long>(funnel.traffic_packets),
+              100 * funnel.overhead_ratio());
+
+  // Event summary by type.
+  std::map<std::string, std::pair<std::size_t, std::uint64_t>> by_type;
+  for (const auto& stored : harness.store().all()) {
+    auto& entry = by_type[core::to_string(stored.event.type)];
+    ++entry.first;
+    entry.second += stored.event.counter;
+  }
+  std::printf("\nbackend events (%zu total):\n", harness.store().size());
+  for (const auto& [type, counts] : by_type) {
+    std::printf("  %-12s %8zu events  %10llu packets\n", type.c_str(), counts.first,
+                static_cast<unsigned long long>(counts.second));
+  }
+
+  // Top affected flows (drops + congestion).
+  std::map<std::uint64_t, std::pair<packet::FlowKey, std::uint64_t>> per_flow;
+  for (const auto& stored : harness.store().all()) {
+    if (stored.event.type == core::EventType::kPathChange) continue;
+    auto& entry = per_flow[stored.event.flow.hash64()];
+    entry.first = stored.event.flow;
+    entry.second += stored.event.counter;
+  }
+  std::vector<std::pair<packet::FlowKey, std::uint64_t>> ranked;
+  for (auto& [_, entry] : per_flow) ranked.push_back(entry);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (!ranked.empty()) {
+    std::printf("\ntop affected flows:\n");
+    for (std::size_t i = 0; i < std::min<std::size_t>(5, ranked.size()); ++i) {
+      std::printf("  %-36s %8llu packets\n", ranked[i].first.to_string().c_str(),
+                  static_cast<unsigned long long>(ranked[i].second));
+    }
+  }
+
+  // Per-device anomaly counts.
+  std::printf("\nanomaly events by device:\n");
+  for (auto* sw : tb.all_switches()) {
+    backend::EventQuery query;
+    query.switch_id = sw->id();
+    std::size_t anomalies = 0;
+    for (const auto& stored : harness.store().query(query)) {
+      anomalies += (stored.event.type != core::EventType::kPathChange);
+    }
+    if (anomalies > 0) std::printf("  %-10s %zu\n", sw->name().c_str(), anomalies);
+  }
+  const auto actual = harness.truth().groups(core::EventType::kDrop);
+  const auto detected = harness.netseer_groups(core::EventType::kDrop);
+  std::printf("\ndrop coverage vs ground truth: %.1f%% (%zu groups)\n",
+              100 * scenarios::Harness::coverage(detected, actual), actual.size());
+  return 0;
+}

@@ -1,0 +1,34 @@
+// SLA attribution: the §5.1 block-storage study as a runnable example.
+// An RPC application runs over the testbed while a server-side bug and
+// two kinds of network faults are injected; each slow RPC is then
+// attributed using host metrics alone, host+Pingmesh, and host+NetSeer.
+// This is the programmatic version of bench_fig8b_sla, showing how to
+// consume SlaStudyResult from code.
+#include <cstdio>
+
+#include "scenarios/sla.h"
+
+using namespace netseer;
+
+int main() {
+  scenarios::SlaStudyConfig config;
+  config.seed = 7;
+  config.duration = util::milliseconds(60);
+  config.slow_threshold = util::milliseconds(1);
+
+  const auto result = scenarios::run_sla_study(config);
+
+  std::printf("issued %zu RPCs, %zu violated the %s SLA\n\n", result.total_rpcs,
+              result.slow_rpcs, util::format_duration(config.slow_threshold).c_str());
+  std::printf("%s\n", scenarios::format_breakdown("host", result.host_only).c_str());
+  std::printf("%s\n", scenarios::format_breakdown("host+pingmesh", result.host_pingmesh).c_str());
+  std::printf("%s\n", scenarios::format_breakdown("host+netseer", result.host_netseer).c_str());
+  std::printf("%s\n", scenarios::format_breakdown("truth", result.truth).c_str());
+
+  std::printf("\nattribution accuracy: host %.0f%% -> +pingmesh %.0f%% -> +netseer %.0f%%\n",
+              100 * result.host_only_accuracy, 100 * result.host_pingmesh_accuracy,
+              100 * result.host_netseer_accuracy);
+  std::printf("\nwith NetSeer an operator answers 'was the network responsible for THIS\n"
+              "slow call?' per RPC, instead of arguing from coarse counters (Case-#5).\n");
+  return result.host_netseer_accuracy >= result.host_only_accuracy ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "backend/event_store.h"
+#include "core/report.h"
+#include "sim/simulator.h"
+
+namespace netseer::backend {
+
+/// Backend endpoint of the reliable report channel: deduplicates
+/// retransmitted segments, stores their events, and acks cumulatively
+/// per reporting switch.
+class Collector {
+ public:
+  Collector(sim::Simulator& sim, util::NodeId id, core::ReportChannel& channel,
+            EventStore& store)
+      : sim_(sim), id_(id), channel_(channel), store_(store) {
+    channel_.register_endpoint(id_, [this](util::NodeId from, const core::ReportMsg& msg) {
+      on_message(from, msg);
+    });
+  }
+
+  [[nodiscard]] util::NodeId id() const { return id_; }
+  [[nodiscard]] std::uint64_t segments_received() const { return segments_; }
+  [[nodiscard]] std::uint64_t duplicate_segments() const { return duplicates_; }
+  [[nodiscard]] std::uint64_t events_stored() const { return events_stored_; }
+
+ private:
+  void on_message(util::NodeId from, const core::ReportMsg& msg) {
+    if (msg.kind != core::ReportMsg::Kind::kData) return;
+    ++segments_;
+    auto& peer = peers_[from];
+    if (msg.seq < peer.next_expected || peer.seen.contains(msg.seq)) {
+      ++duplicates_;
+    } else {
+      peer.seen.insert(msg.seq);
+      for (const auto& event : msg.batch.events) {
+        store_.add(event, sim_.now());
+        ++events_stored_;
+      }
+      // Advance the cumulative ack over contiguous receptions.
+      while (peer.seen.contains(peer.next_expected)) {
+        peer.seen.erase(peer.next_expected);
+        ++peer.next_expected;
+      }
+    }
+    core::ReportMsg ack;
+    ack.kind = core::ReportMsg::Kind::kAck;
+    ack.seq = peer.next_expected;
+    channel_.send(id_, from, std::move(ack));
+  }
+
+  struct PeerState {
+    std::uint32_t next_expected = 0;
+    std::unordered_set<std::uint32_t> seen;  // received beyond next_expected
+  };
+
+  sim::Simulator& sim_;
+  util::NodeId id_;
+  core::ReportChannel& channel_;
+  EventStore& store_;
+  std::unordered_map<util::NodeId, PeerState> peers_;
+  std::uint64_t segments_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t events_stored_ = 0;
+};
+
+}  // namespace netseer::backend

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/event.h"
+#include "packet/flow_key.h"
+
+namespace netseer::backend {
+
+/// An event as persisted by the backend: what the switch reported plus
+/// when the backend stored it.
+struct StoredEvent {
+  core::FlowEvent event;
+  util::SimTime stored_at = 0;
+};
+
+/// Query by any combination of flow, event type, device, and period —
+/// the operator interface in Fig. 2 ("Flow-1 E? -> E1 & E4",
+/// "Device-1? -> E1~E4 & flows").
+struct EventQuery {
+  std::optional<packet::FlowKey> flow;
+  std::optional<core::EventType> type;
+  std::optional<util::NodeId> switch_id;
+  std::optional<util::SimTime> from;  // inclusive, on detected_at
+  std::optional<util::SimTime> to;    // exclusive
+
+  [[nodiscard]] bool matches(const StoredEvent& stored) const {
+    const auto& ev = stored.event;
+    if (flow && ev.flow != *flow) return false;
+    if (type && ev.type != *type) return false;
+    if (switch_id && ev.switch_id != *switch_id) return false;
+    if (from && ev.detected_at < *from) return false;
+    if (to && ev.detected_at >= *to) return false;
+    return true;
+  }
+};
+
+/// The backend storage for flow events, with secondary indices by flow
+/// and by device so the operator queries in §3.2 step 4 stay cheap.
+class EventStore {
+ public:
+  void add(const core::FlowEvent& event, util::SimTime now) {
+    const std::size_t idx = events_.size();
+    events_.push_back(StoredEvent{event, now});
+    by_flow_[event.flow.hash64()].push_back(idx);
+    by_switch_[event.switch_id].push_back(idx);
+  }
+
+  [[nodiscard]] std::vector<StoredEvent> query(const EventQuery& query) const {
+    std::vector<StoredEvent> out;
+    const auto scan = [&](const std::vector<std::size_t>& candidates) {
+      for (const auto idx : candidates) {
+        if (query.matches(events_[idx])) out.push_back(events_[idx]);
+      }
+    };
+    if (query.flow) {
+      const auto it = by_flow_.find(query.flow->hash64());
+      if (it != by_flow_.end()) scan(it->second);
+    } else if (query.switch_id) {
+      const auto it = by_switch_.find(*query.switch_id);
+      if (it != by_switch_.end()) scan(it->second);
+    } else {
+      for (const auto& stored : events_) {
+        if (query.matches(stored)) out.push_back(stored);
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t count(const EventQuery& q) const { return query(q).size(); }
+
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] const std::vector<StoredEvent>& all() const { return events_; }
+
+  /// Distinct flows that experienced any event matching `query`.
+  [[nodiscard]] std::vector<packet::FlowKey> distinct_flows(const EventQuery& query) const {
+    std::unordered_set<packet::FlowKey, packet::FlowKeyHash> seen;
+    std::vector<packet::FlowKey> out;
+    for (const auto& stored : this->query(query)) {
+      if (seen.insert(stored.event.flow).second) out.push_back(stored.event.flow);
+    }
+    return out;
+  }
+
+  /// Sum of event counters matching `query` (total affected packets).
+  [[nodiscard]] std::uint64_t total_counter(const EventQuery& query) const {
+    std::uint64_t total = 0;
+    for (const auto& stored : this->query(query)) total += stored.event.counter;
+    return total;
+  }
+
+ private:
+  std::vector<StoredEvent> events_;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> by_flow_;
+  std::unordered_map<util::NodeId, std::vector<std::size_t>> by_switch_;
+};
+
+}  // namespace netseer::backend

@@ -1,0 +1,75 @@
+#include "backend/persistence.h"
+
+#include <array>
+#include <cstring>
+
+namespace netseer::backend {
+
+namespace {
+
+constexpr char kMagic[4] = {'N', 'S', 'E', 'V'};
+
+template <typename T>
+void put(std::ostream& out, T value) {
+  // Little-endian, byte by byte (host independence).
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out.put(static_cast<char>((static_cast<std::uint64_t>(value) >> (8 * i)) & 0xff));
+  }
+}
+
+template <typename T>
+bool get(std::istream& in, T& value) {
+  std::uint64_t accum = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    const int c = in.get();
+    if (c == std::char_traits<char>::eof()) return false;
+    accum |= static_cast<std::uint64_t>(static_cast<unsigned char>(c)) << (8 * i);
+  }
+  value = static_cast<T>(accum);
+  return true;
+}
+
+}  // namespace
+
+bool save_store(const EventStore& store, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  put<std::uint16_t>(out, kStoreFormatVersion);
+  put<std::uint64_t>(out, store.size());
+  for (const auto& stored : store.all()) {
+    const auto raw = stored.event.serialize();
+    out.write(reinterpret_cast<const char*>(raw.data()),
+              static_cast<std::streamsize>(raw.size()));
+    put<std::uint32_t>(out, stored.event.switch_id);
+    put<std::int64_t>(out, stored.event.detected_at);
+    put<std::int64_t>(out, stored.stored_at);
+  }
+  return static_cast<bool>(out);
+}
+
+bool load_store(EventStore& store, std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
+  std::uint16_t version = 0;
+  if (!get(in, version) || version != kStoreFormatVersion) return false;
+  std::uint64_t count = 0;
+  if (!get(in, count)) return false;
+
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::array<std::byte, core::FlowEvent::kWireSize> raw{};
+    in.read(reinterpret_cast<char*>(raw.data()), static_cast<std::streamsize>(raw.size()));
+    if (!in) return false;
+    auto event = core::FlowEvent::parse(raw);
+    if (!event) return false;
+    std::uint32_t switch_id = 0;
+    std::int64_t detected_at = 0;
+    std::int64_t stored_at = 0;
+    if (!get(in, switch_id) || !get(in, detected_at) || !get(in, stored_at)) return false;
+    event->switch_id = switch_id;
+    event->detected_at = detected_at;
+    store.add(*event, stored_at);
+  }
+  return true;
+}
+
+}  // namespace netseer::backend

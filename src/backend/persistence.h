@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+#include "backend/event_store.h"
+
+namespace netseer::backend {
+
+/// On-disk format for the backend store: a small header followed by one
+/// fixed-size record per event — the 24-byte wire encoding (§4) plus the
+/// backend-side metadata (switch id, detected/stored timestamps). Format:
+///
+///   magic "NSEV" (4) | version u16 | record count u64
+///   per record: event(24) | switch_id u32 | detected_at i64 | stored_at i64
+///
+/// All integers little-endian. Returns false on malformed input, leaving
+/// already-loaded records in place (append semantics).
+bool save_store(const EventStore& store, std::ostream& out);
+bool load_store(EventStore& store, std::istream& in);
+
+inline constexpr std::uint16_t kStoreFormatVersion = 1;
+
+}  // namespace netseer::backend

@@ -1,0 +1,45 @@
+#include "core/capacity.h"
+
+namespace netseer::core::capacity {
+
+double cebp_throughput_eps(const CebpConfig& config, int batch_size) {
+  if (batch_size <= 0 || config.num_cebps <= 0) return 0.0;
+  const double collect_ns =
+      static_cast<double>(batch_size) * static_cast<double>(config.recirc_latency);
+  const double cycle_ns = collect_ns + static_cast<double>(config.flush_latency);
+  if (cycle_ns <= 0.0) return 0.0;
+  const double per_cebp = static_cast<double>(batch_size) * 1e9 / cycle_ns;
+  return per_cebp * config.num_cebps;
+}
+
+double cebp_throughput_gbps(const CebpConfig& config, int batch_size) {
+  const double eps = cebp_throughput_eps(config, batch_size);
+  const double bytes_per_event =
+      FlowEvent::kWireSize +
+      static_cast<double>(EventBatch::kHeaderSize) / (batch_size > 0 ? batch_size : 1);
+  return eps * bytes_per_event * 8.0 / 1e9;
+}
+
+std::size_t min_ring_slots(util::BitRate link_rate, util::SimDuration notify_rtt,
+                           std::uint32_t pkt_bytes) {
+  const util::SimDuration per_packet = link_rate.serialization_delay(pkt_bytes);
+  if (per_packet <= 0) return 1;
+  // Packets transmitted during the notification flight, rounded up,
+  // plus the dropped packet's own slot.
+  const auto in_flight = (notify_rtt + per_packet - 1) / per_packet;
+  return static_cast<std::size_t>(in_flight) + 1;
+}
+
+std::size_t slots_for_consecutive_drops(int consecutive_drops, util::BitRate link_rate,
+                                        util::SimDuration notify_rtt,
+                                        std::uint32_t pkt_bytes) {
+  if (consecutive_drops < 1) consecutive_drops = 1;
+  return static_cast<std::size_t>(consecutive_drops - 1) +
+         min_ring_slots(link_rate, notify_rtt, pkt_bytes);
+}
+
+std::size_t ring_sram_bytes(int ports, std::size_t slots) {
+  return static_cast<std::size_t>(ports) * slots * InterSwitchConfig::kSlotBytes;
+}
+
+}  // namespace netseer::core::capacity

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/cebp.h"
+#include "core/detect/interswitch.h"
+#include "util/rate.h"
+#include "util/time.h"
+
+namespace netseer::core::capacity {
+
+/// Steady-state CEBP batching throughput in events/second (Fig. 12).
+/// Each CEBP pops one event per recirculation; flushing (every
+/// batch_size pops) costs one flush_latency during which that CEBP
+/// collects nothing — so throughput rises with batch size toward
+/// num_cebps / recirc_latency.
+[[nodiscard]] double cebp_throughput_eps(const CebpConfig& config, int batch_size);
+
+/// The same capacity expressed as report bandwidth in Gb/s (24 B events
+/// plus amortized batch header).
+[[nodiscard]] double cebp_throughput_gbps(const CebpConfig& config, int batch_size);
+
+/// Fig. 15(a): minimal ring-buffer slots per port so that, after a
+/// single packet drop, the dropped packet's slot still holds its flow by
+/// the time the downstream's loss notification arrives. While the
+/// notification is in flight (round trip of the link plus the downstream
+/// detection turnaround), subsequent packets of `pkt_bytes` keep
+/// overwriting the ring at line rate.
+[[nodiscard]] std::size_t min_ring_slots(util::BitRate link_rate,
+                                         util::SimDuration notify_rtt,
+                                         std::uint32_t pkt_bytes);
+
+/// Slots needed to survive `consecutive_drops` back-to-back losses: the
+/// dropped packets themselves plus the notification-flight window.
+[[nodiscard]] std::size_t slots_for_consecutive_drops(int consecutive_drops,
+                                                      util::BitRate link_rate,
+                                                      util::SimDuration notify_rtt,
+                                                      std::uint32_t pkt_bytes);
+
+/// Fig. 15(b): total SRAM for `ports` ring buffers of `slots` slots.
+[[nodiscard]] std::size_t ring_sram_bytes(int ports, std::size_t slots);
+
+}  // namespace netseer::core::capacity

@@ -1,0 +1,16 @@
+#include "core/detect/interswitch.h"
+
+#include <memory>
+
+namespace netseer::core {
+
+packet::Packet make_loss_notification(std::uint32_t start, std::uint32_t end,
+                                      std::uint8_t copy) {
+  packet::Packet pkt;
+  pkt.uid = packet::next_packet_uid();
+  pkt.kind = packet::PacketKind::kLossNotify;
+  pkt.control = std::make_shared<LossNotifyPayload>(start, end, copy);
+  return pkt;
+}
+
+}  // namespace netseer::core

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/event.h"
+
+namespace netseer::core {
+
+/// The multi-stage stack that buffers extracted events until a
+/// circulating event batching packet (CEBP) pops them (§3.5). Each stage
+/// of the pipeline contributes limited register width, so capacity is
+/// bounded; overflow means a lost event (counted — the capacity benches
+/// probe exactly this).
+class EventStack {
+ public:
+  explicit EventStack(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Push an event; false (and an overflow count) when the stack is full.
+  bool push(const FlowEvent& event) {
+    if (entries_.size() >= capacity_) {
+      ++overflows_;
+      return false;
+    }
+    entries_.push_back(event);
+    ++pushes_;
+    if (entries_.size() > high_watermark_) high_watermark_ = entries_.size();
+    return true;
+  }
+
+  /// Pop the most recent event (stack order, matching the hardware
+  /// design's LIFO register chain).
+  std::optional<FlowEvent> pop() {
+    if (entries_.empty()) return std::nullopt;
+    FlowEvent event = entries_.back();
+    entries_.pop_back();
+    return event;
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t pushes() const { return pushes_; }
+  [[nodiscard]] std::uint64_t overflows() const { return overflows_; }
+  [[nodiscard]] std::size_t high_watermark() const { return high_watermark_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<FlowEvent> entries_;
+  std::uint64_t pushes_ = 0;
+  std::uint64_t overflows_ = 0;
+  std::size_t high_watermark_ = 0;
+};
+
+}  // namespace netseer::core

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "core/event.h"
+#include "sim/simulator.h"
+#include "util/rate.h"
+
+namespace netseer::core {
+
+struct PcieConfig {
+  /// Physical channel limit between pipeline and CPU (§4: ~18 Gb/s).
+  util::BitRate phys_bandwidth = util::BitRate::gbps(18);
+  /// Per batch-packet host cost (descriptor + doorbell + ring handling),
+  /// paid by one core.
+  util::SimDuration per_packet_cost = util::nanoseconds(150);
+  /// Per-event copy/processing cost on the host side, per core.
+  util::SimDuration per_event_cost = util::nanoseconds(20);
+  /// Cores servicing the DMA rings (Fig. 14a: 1 vs 2).
+  int cpu_cores = 2;
+};
+
+/// The PCIe channel between the pipeline and the switch CPU: batches
+/// queue, are serviced at the modeled rate, and are delivered to the
+/// consumer. The service-time model is what the Fig. 14(a) capacity
+/// sweep interrogates: small batches are per-packet-cost bound, large
+/// batches approach the physical bandwidth.
+class PcieChannel {
+ public:
+  using Deliver = std::function<void(EventBatch&&)>;
+
+  PcieChannel(sim::Simulator& sim, const PcieConfig& config, Deliver deliver)
+      : sim_(sim), config_(config), deliver_(std::move(deliver)) {}
+
+  void submit(EventBatch&& batch) {
+    bytes_submitted_ += batch.wire_size();
+    ++batches_submitted_;
+    queue_.push_back(std::move(batch));
+    if (queue_.size() > high_watermark_) high_watermark_ = queue_.size();
+    maybe_service();
+  }
+
+  /// Modeled service time for one batch of `events` events.
+  [[nodiscard]] static util::SimDuration service_time(const PcieConfig& config,
+                                                      std::size_t events) {
+    const auto bytes =
+        static_cast<std::int64_t>(EventBatch::kHeaderSize + events * FlowEvent::kWireSize);
+    const util::SimDuration wire = config.phys_bandwidth.serialization_delay(bytes);
+    const util::SimDuration host =
+        (config.per_packet_cost +
+         config.per_event_cost * static_cast<std::int64_t>(events)) /
+        (config.cpu_cores > 0 ? config.cpu_cores : 1);
+    return wire > host ? wire : host;
+  }
+
+  /// Steady-state throughput of the model in events/second for a given
+  /// batch size (the Fig. 14a curve).
+  [[nodiscard]] static double throughput_eps(const PcieConfig& config, std::size_t batch_size) {
+    const auto t = service_time(config, batch_size);
+    if (t <= 0) return 0.0;
+    return static_cast<double>(batch_size) * 1e9 / static_cast<double>(t);
+  }
+
+  [[nodiscard]] std::uint64_t batches_submitted() const { return batches_submitted_; }
+  [[nodiscard]] std::uint64_t batches_delivered() const { return batches_delivered_; }
+  [[nodiscard]] std::uint64_t bytes_submitted() const { return bytes_submitted_; }
+  [[nodiscard]] std::size_t backlog() const { return queue_.size(); }
+  [[nodiscard]] std::size_t high_watermark() const { return high_watermark_; }
+
+ private:
+  void maybe_service() {
+    if (busy_ || queue_.empty()) return;
+    busy_ = true;
+    EventBatch batch = std::move(queue_.front());
+    queue_.pop_front();
+    const auto t = service_time(config_, batch.events.size());
+    sim_.schedule_after(t, [this, batch = std::move(batch)]() mutable {
+      busy_ = false;
+      ++batches_delivered_;
+      deliver_(std::move(batch));
+      maybe_service();
+    });
+  }
+
+  sim::Simulator& sim_;
+  PcieConfig config_;
+  Deliver deliver_;
+  std::deque<EventBatch> queue_;
+  bool busy_ = false;
+  std::uint64_t batches_submitted_ = 0;
+  std::uint64_t batches_delivered_ = 0;
+  std::uint64_t bytes_submitted_ = 0;
+  std::size_t high_watermark_ = 0;
+};
+
+}  // namespace netseer::core

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/event.h"
+#include "net/mgmt.h"
+
+namespace netseer::core {
+
+/// Message exchanged between a switch CPU and the backend over the
+/// management network. Data segments carry an event batch; acks carry
+/// the receiver's cumulative sequence.
+struct ReportMsg {
+  enum class Kind : std::uint8_t { kData, kAck };
+  Kind kind = Kind::kData;
+  std::uint32_t seq = 0;  // data: segment seq. ack: cumulative (next expected).
+  EventBatch batch;       // kData only
+
+  [[nodiscard]] std::size_t wire_size() const {
+    // seq + kind + TCP/IP-ish framing overhead on the management network.
+    return kind == Kind::kData ? batch.wire_size() + 40 : 40;
+  }
+};
+
+using ReportChannel = net::MgmtChannel<ReportMsg>;
+
+}  // namespace netseer::core

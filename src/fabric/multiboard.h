@@ -1,0 +1,45 @@
+#pragma once
+
+#include "fabric/network.h"
+
+namespace netseer::fabric {
+
+/// A multi-board (multi-card) chassis switch, modeled as two forwarding
+/// boards joined by an internal backplane (§3.3: "In multi-board (card)
+/// switches, we use a similar idea to detect inter-card packet drop").
+/// Backplane transfers can silently fail exactly like an external link —
+/// Figure 4's "inter-card drop" rows — and NetSeer's inter-switch
+/// sequencing on the backplane ports recovers them the same way.
+struct MultiBoardSwitch {
+  pdp::Switch* board_a = nullptr;
+  pdp::Switch* board_b = nullptr;
+  /// The two backplane directions (fault-injectable).
+  net::Link* backplane_ab = nullptr;
+  net::Link* backplane_ba = nullptr;
+  /// The backplane port index on each board.
+  util::PortId backplane_port_a = 0;
+  util::PortId backplane_port_b = 0;
+};
+
+/// Create the chassis inside `net`. Each board gets `config` (its last
+/// port becomes the backplane); front-panel ports 0..num_ports-2 of each
+/// board remain available for connect_host / connect_switches.
+[[nodiscard]] inline MultiBoardSwitch add_multiboard_switch(Network& net,
+                                                            const std::string& name,
+                                                            pdp::SwitchConfig config,
+                                                            util::SimDuration backplane_delay =
+                                                                util::nanoseconds(200)) {
+  MultiBoardSwitch chassis;
+  chassis.backplane_port_a = static_cast<util::PortId>(config.num_ports - 1);
+  chassis.backplane_port_b = chassis.backplane_port_a;
+  chassis.board_a = &net.add_switch(name + "/boardA", config);
+  chassis.board_b = &net.add_switch(name + "/boardB", config);
+  auto [ab, ba] = net.connect_switches(*chassis.board_a, chassis.backplane_port_a,
+                                       *chassis.board_b, chassis.backplane_port_b,
+                                       backplane_delay);
+  chassis.backplane_ab = ab;
+  chassis.backplane_ba = ba;
+  return chassis;
+}
+
+}  // namespace netseer::fabric

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "core/event.h"
+#include "packet/flow_key.h"
+#include "util/hash.h"
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace netseer::monitors {
+
+/// What a monitoring system managed to see: a flow (or not — counters
+/// can't attribute flows), at a device, with some event evidence. The
+/// coverage benches score each monitor by which ground-truth event groups
+/// its observations explain.
+struct Observation {
+  util::NodeId node = util::kInvalidNode;
+  std::optional<packet::FlowKey> flow;  // nullopt: device/port-level only
+  core::EventType type = core::EventType::kDrop;
+  util::SimTime at = 0;
+  std::uint8_t ingress_port = 0xff;
+  std::uint8_t egress_port = 0xff;
+  util::SimDuration queue_delay = 0;
+};
+
+/// The identity used for coverage scoring: one ground-truth "flow event"
+/// is (node, flow, type) — did the monitor ever explain it?
+struct EventGroup {
+  util::NodeId node;
+  std::uint64_t flow_hash;
+  core::EventType type;
+
+  bool operator==(const EventGroup&) const = default;
+};
+
+struct EventGroupHash {
+  std::size_t operator()(const EventGroup& g) const noexcept {
+    return util::hash_combine(util::hash_combine(g.node, g.flow_hash),
+                              static_cast<std::uint64_t>(g.type));
+  }
+};
+
+using EventGroupSet = std::unordered_set<EventGroup, EventGroupHash>;
+
+/// Accumulates a monitor's observations plus its mirrored-byte cost.
+class ObservationLog {
+ public:
+  void record(Observation obs) { observations_.push_back(std::move(obs)); }
+  void add_overhead_bytes(std::uint64_t bytes) { overhead_bytes_ += bytes; }
+
+  [[nodiscard]] const std::vector<Observation>& observations() const { return observations_; }
+  [[nodiscard]] std::uint64_t overhead_bytes() const { return overhead_bytes_; }
+
+  /// Distinct (node, flow, type) groups this monitor explained.
+  [[nodiscard]] EventGroupSet groups() const {
+    EventGroupSet set;
+    for (const auto& obs : observations_) {
+      if (!obs.flow) continue;
+      set.insert(EventGroup{obs.node, obs.flow->hash64(), obs.type});
+    }
+    return set;
+  }
+
+  void clear() {
+    observations_.clear();
+    overhead_bytes_ = 0;
+  }
+
+ private:
+  std::vector<Observation> observations_;
+  std::uint64_t overhead_bytes_ = 0;
+};
+
+}  // namespace netseer::monitors

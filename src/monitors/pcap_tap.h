@@ -1,0 +1,30 @@
+#pragma once
+
+#include "net/pcap.h"
+#include "pdp/agent.h"
+#include "pdp/switch.h"
+
+namespace netseer::monitors {
+
+/// Switch agent that taps every frame departing a chosen port into a
+/// pcap stream — a virtual SPAN/mirror session. Dumps open directly in
+/// Wireshark/tcpdump (valid FCS and IP checksums), NetSeer sequence
+/// shims included.
+class PcapTapAgent final : public pdp::SwitchAgent {
+ public:
+  /// Tap egress of `port` on whichever switch this agent is added to
+  /// (use one agent per tap). kInvalidPort taps every port.
+  explicit PcapTapAgent(net::PcapWriter& writer, util::PortId port = util::kInvalidPort)
+      : writer_(writer), port_(port) {}
+
+  void on_egress(pdp::Switch& sw, packet::Packet& pkt, const pdp::EgressInfo& info) override {
+    if (port_ != util::kInvalidPort && info.egress_port != port_) return;
+    writer_.write(pkt, sw.simulator().now());
+  }
+
+ private:
+  net::PcapWriter& writer_;
+  util::PortId port_;
+};
+
+}  // namespace netseer::monitors

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/host.h"
+#include "packet/builder.h"
+#include "sim/simulator.h"
+
+namespace netseer::monitors {
+
+/// Pingmesh-style full-mesh active probing [Guo et al., SIGCOMM'15]:
+/// every host probes every other host each interval and records RTT or
+/// loss. Probes are real packets through the real fabric, so their cost
+/// is real too. Probing sees *its own* packets only — it can detect that
+/// some path is slow or lossy, never which application flow suffered
+/// (Case-#1/2 in §2.1). The paper configures one full mesh per second.
+class PingmeshProber {
+ public:
+  struct ProbeResult {
+    util::NodeId src;
+    util::NodeId dst;
+    util::SimTime sent_at;
+    util::SimDuration rtt = -1;  // -1: lost (no reply)
+  };
+
+  PingmeshProber(sim::Simulator& sim, std::vector<net::Host*> hosts,
+                 util::SimDuration interval, util::SimDuration timeout = util::milliseconds(100))
+      : sim_(sim), hosts_(std::move(hosts)), timeout_(timeout) {
+    apps_.reserve(hosts_.size());
+    for (auto* host : hosts_) {
+      apps_.push_back(std::make_unique<ReplyListener>(*this));
+      host->add_app(apps_.back().get());
+    }
+    task_ = sim_.schedule_every(interval, [this] { probe_round(); });
+  }
+  ~PingmeshProber() { stop(); }
+
+  /// Cancel the probing task (required before draining the simulator).
+  void stop() { task_.cancel(); }
+
+  void probe_round() {
+    for (auto* src : hosts_) {
+      for (auto* dst : hosts_) {
+        if (src == dst) continue;
+        const std::uint32_t id = next_probe_id_++;
+        auto probe = packet::make_udp(
+            packet::FlowKey{src->addr(), dst->addr(), 17, 7777, 7}, 16);
+        probe.kind = packet::PacketKind::kProbe;
+        probe.l4.seq = id;
+        outstanding_[id] = Outstanding{src->id(), dst->id(), sim_.now()};
+        probe_bytes_ += 2 * probe.wire_bytes();  // probe + expected reply
+        src->send(std::move(probe));
+        // Timeout: record as loss if no reply by then.
+        sim_.schedule_after(timeout_, [this, id] {
+          const auto it = outstanding_.find(id);
+          if (it == outstanding_.end()) return;
+          results_.push_back(ProbeResult{it->second.src, it->second.dst, it->second.sent_at, -1});
+          outstanding_.erase(it);
+        });
+      }
+    }
+  }
+
+  [[nodiscard]] const std::vector<ProbeResult>& results() const { return results_; }
+  [[nodiscard]] std::uint64_t probe_bytes() const { return probe_bytes_; }
+
+  /// Existence-level detection: any probe in [from, to) with RTT above
+  /// `rtt_threshold` or lost?
+  [[nodiscard]] bool anomaly_in_window(util::SimTime from, util::SimTime to,
+                                       util::SimDuration rtt_threshold) const {
+    for (const auto& result : results_) {
+      if (result.sent_at < from || result.sent_at >= to) continue;
+      if (result.rtt < 0 || result.rtt > rtt_threshold) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t lost_probes() const {
+    std::size_t n = 0;
+    for (const auto& result : results_) n += (result.rtt < 0);
+    return n;
+  }
+
+ private:
+  struct Outstanding {
+    util::NodeId src;
+    util::NodeId dst;
+    util::SimTime sent_at;
+  };
+
+  class ReplyListener final : public net::HostApp {
+   public:
+    explicit ReplyListener(PingmeshProber& prober) : prober_(prober) {}
+    void on_receive(net::Host&, const packet::Packet& pkt) override {
+      if (pkt.kind != packet::PacketKind::kProbeReply) return;
+      const auto it = prober_.outstanding_.find(pkt.l4.seq);
+      if (it == prober_.outstanding_.end()) return;
+      prober_.results_.push_back(ProbeResult{it->second.src, it->second.dst,
+                                             it->second.sent_at,
+                                             prober_.sim_.now() - it->second.sent_at});
+      prober_.outstanding_.erase(it);
+    }
+
+   private:
+    PingmeshProber& prober_;
+  };
+
+  sim::Simulator& sim_;
+  std::vector<net::Host*> hosts_;
+  util::SimDuration timeout_;
+  sim::TaskHandle task_;
+  std::vector<std::unique_ptr<ReplyListener>> apps_;
+  std::unordered_map<std::uint32_t, Outstanding> outstanding_;
+  std::vector<ProbeResult> results_;
+  std::uint32_t next_probe_id_ = 1;
+  std::uint64_t probe_bytes_ = 0;
+};
+
+}  // namespace netseer::monitors

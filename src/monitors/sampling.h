@@ -1,0 +1,88 @@
+#pragma once
+
+#include <unordered_map>
+#include <utility>
+
+#include "monitors/observation.h"
+#include "pdp/agent.h"
+#include "pdp/switch.h"
+#include "util/rng.h"
+
+namespace netseer::monitors {
+
+/// sFlow-style 1:N packet sampling: forwarded packets are mirrored
+/// (truncated to 64 B) to a collector with probability 1/N, using
+/// randomized skip counts exactly because deterministic every-Nth
+/// sampling phase-locks with periodic traffic (sFlow spec, RFC 3176 §4).
+/// Sampled packets carry ports and, in our generous model, the queuing
+/// delay they personally experienced — so a congestion event is
+/// observable only if one of its own packets happened to be sampled.
+/// Dropped packets are gone before the sampler sees an egress
+/// occurrence, so drop coverage is zero — matching Figure 9.
+class SamplingMonitor final : public pdp::SwitchAgent {
+ public:
+  explicit SamplingMonitor(std::uint32_t rate_denominator, std::uint64_t seed = 0x5f10)
+      : denominator_(rate_denominator), rng_(seed, rate_denominator) {
+    skip_ = next_skip();
+  }
+
+  void on_egress(pdp::Switch& sw, packet::Packet& pkt, const pdp::EgressInfo& info) override {
+    if (!pkt.is_ipv4() || pkt.kind != packet::PacketKind::kData) return;
+    if (skip_-- > 0) return;
+    skip_ = next_skip();
+    Observation obs;
+    obs.node = sw.id();
+    obs.flow = pkt.flow();
+    obs.at = sw.simulator().now();
+    obs.ingress_port = static_cast<std::uint8_t>(info.ingress_port);
+    obs.egress_port = static_cast<std::uint8_t>(info.egress_port);
+    obs.queue_delay = info.queue_delay;
+    obs.type = core::EventType::kCongestion;  // interpreted by the scorer
+    log_.record(std::move(obs));
+    log_.add_overhead_bytes(64);  // truncated mirror
+  }
+
+  [[nodiscard]] const ObservationLog& log() const { return log_; }
+  [[nodiscard]] std::uint32_t denominator() const { return denominator_; }
+
+  /// Congestion groups: samples that themselves experienced the event.
+  [[nodiscard]] EventGroupSet congestion_groups(util::SimDuration threshold) const {
+    EventGroupSet set;
+    for (const auto& obs : log_.observations()) {
+      if (obs.queue_delay > threshold) {
+        set.insert(EventGroup{obs.node, obs.flow->hash64(), core::EventType::kCongestion});
+      }
+    }
+    return set;
+  }
+
+  /// Path groups derivable from samples: first sample of a flow at a
+  /// node, or a sample with changed ports.
+  [[nodiscard]] EventGroupSet path_groups() const {
+    EventGroupSet set;
+    std::unordered_map<EventGroup, std::pair<std::uint8_t, std::uint8_t>, EventGroupHash> seen;
+    for (const auto& obs : log_.observations()) {
+      const EventGroup group{obs.node, obs.flow->hash64(), core::EventType::kPathChange};
+      const auto ports = std::make_pair(obs.ingress_port, obs.egress_port);
+      auto [it, inserted] = seen.try_emplace(group, ports);
+      if (inserted || it->second != ports) {
+        it->second = ports;
+        set.insert(group);
+      }
+    }
+    return set;
+  }
+
+ private:
+  /// Uniform skip in [0, 2N): mean N, like sFlow's randomized sampling.
+  [[nodiscard]] std::int64_t next_skip() {
+    return static_cast<std::int64_t>(rng_.uniform(2 * denominator_));
+  }
+
+  std::uint32_t denominator_;
+  util::Rng rng_;
+  std::int64_t skip_ = 0;
+  ObservationLog log_;
+};
+
+}  // namespace netseer::monitors

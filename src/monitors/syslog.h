@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pdp/switch.h"
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace netseer::monitors {
+
+/// Collects switch self-check alerts — the channel through which the
+/// hardware failures NetSeer cannot cover (§3.7, Figure 4
+/// "malfunctioning") reach operators. Attach to every switch; a Case-#3
+/// style fault outside the detection zone produces nothing here, which
+/// is exactly the gap flow event telemetry fills.
+class SyslogCollector {
+ public:
+  struct Alert {
+    util::SimTime at;
+    util::NodeId node;
+    std::string message;
+  };
+
+  explicit SyslogCollector(sim::Simulator& sim) : sim_(sim) {}
+
+  void attach(pdp::Switch& sw) {
+    sw.set_syslog([this](util::NodeId node, const std::string& message) {
+      alerts_.push_back(Alert{sim_.now(), node, message});
+    });
+  }
+
+  [[nodiscard]] const std::vector<Alert>& alerts() const { return alerts_; }
+
+  [[nodiscard]] bool has_alert_for(util::NodeId node) const {
+    for (const auto& alert : alerts_) {
+      if (alert.node == node) return true;
+    }
+    return false;
+  }
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<Alert> alerts_;
+};
+
+}  // namespace netseer::monitors

@@ -1,0 +1,67 @@
+#include "net/host.h"
+
+namespace netseer::net {
+
+Host::Host(sim::Simulator& sim, util::NodeId id, std::string name, packet::Ipv4Addr addr,
+           util::BitRate nic_rate)
+    : Node(id, std::move(name)), sim_(sim), addr_(addr), tx_(sim, nic_rate) {}
+
+void Host::send(packet::Packet&& pkt) {
+  if (pkt.eth.src == packet::MacAddr{}) pkt.eth.src = mac();
+  if (pkt.ip && pkt.ip->src == packet::Ipv4Addr{}) pkt.ip->src = addr_;
+  pkt.meta.origin_node = id();
+  pkt.meta.created_time = sim_.now();
+  if (nic_agent_) nic_agent_->on_tx(*this, pkt);
+  const util::QueueId queue = queue_for(pkt);
+  tx_.enqueue(std::move(pkt), queue);
+}
+
+void Host::receive(packet::Packet&& pkt, util::PortId in_port) {
+  pkt.meta.ingress_port = in_port;
+  pkt.meta.ingress_time = sim_.now();
+
+  // MAC layer: FCS failure discards the frame before anything sees it.
+  if (pkt.corrupted) {
+    ++rx_corrupt_;
+    return;
+  }
+
+  if (nic_agent_ && !nic_agent_->on_rx(*this, pkt)) return;
+
+  // PFC pause aimed at the host NIC.
+  if (pkt.kind == packet::PacketKind::kPfc && pkt.pfc) {
+    for (std::uint8_t cls = 0; cls < util::kNumQueues; ++cls) {
+      if (pkt.pfc->class_enable & (1u << cls)) tx_.apply_pause(cls, pkt.pfc->pause_quanta[cls]);
+    }
+    return;
+  }
+
+  ++rx_packets_;
+  rx_bytes_ += pkt.wire_bytes();
+
+  if (pkt.kind == packet::PacketKind::kProbe && pkt.ip && pkt.ip->dst == addr_) {
+    reply_to_probe(pkt);
+    return;
+  }
+
+  for (auto* app : apps_) app->on_receive(*this, pkt);
+}
+
+void Host::reply_to_probe(const packet::Packet& probe) {
+  packet::Packet reply;
+  reply.uid = packet::next_packet_uid();
+  reply.kind = packet::PacketKind::kProbeReply;
+  reply.ip = packet::Ipv4Header{};
+  reply.ip->src = addr_;
+  reply.ip->dst = probe.ip->src;
+  reply.ip->proto = probe.ip->proto;
+  reply.ip->dscp = probe.ip->dscp;
+  reply.l4.sport = probe.l4.dport;
+  reply.l4.dport = probe.l4.sport;
+  reply.l4.seq = probe.l4.seq;  // echo the probe sequence for RTT matching
+  reply.payload_bytes = probe.payload_bytes;
+  reply.control = probe.control;  // echo probe payload (send timestamp etc.)
+  send(std::move(reply));
+}
+
+}  // namespace netseer::net

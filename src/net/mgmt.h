@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "sim/simulator.h"
+#include "util/ids.h"
+#include "util/rng.h"
+
+namespace netseer::net {
+
+/// The out-of-band management network between switch CPUs and the backend
+/// storage. Datagram semantics: fixed delay, optional loss — the reliable
+/// transport in core/ is responsible for retransmission, exactly like the
+/// paper's TCP session from switch CPU to backend (§3.6).
+///
+/// Message type T must be copyable; delivery invokes the destination's
+/// registered handler after `delay`.
+template <typename T>
+class MgmtChannel {
+ public:
+  using Handler = std::function<void(util::NodeId from, const T& msg)>;
+
+  MgmtChannel(sim::Simulator& sim, util::Rng rng, util::SimDuration delay, double loss_prob)
+      : sim_(sim), rng_(rng), delay_(delay), loss_prob_(loss_prob) {}
+
+  void register_endpoint(util::NodeId id, Handler handler) {
+    handlers_[id] = std::move(handler);
+  }
+
+  /// Send `msg`; silently dropped with probability loss_prob or when the
+  /// destination is unknown.
+  void send(util::NodeId from, util::NodeId to, T msg) {
+    ++sent_;
+    if (rng_.chance(loss_prob_)) {
+      ++lost_;
+      return;
+    }
+    sim_.schedule_after(delay_, [this, from, to, msg = std::move(msg)]() {
+      auto it = handlers_.find(to);
+      if (it != handlers_.end()) it->second(from, msg);
+    });
+  }
+
+  [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t messages_lost() const { return lost_; }
+  [[nodiscard]] util::SimDuration delay() const { return delay_; }
+
+ private:
+  sim::Simulator& sim_;
+  util::Rng rng_;
+  util::SimDuration delay_;
+  double loss_prob_;
+  std::unordered_map<util::NodeId, Handler> handlers_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t lost_ = 0;
+};
+
+}  // namespace netseer::net

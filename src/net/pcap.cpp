@@ -1,0 +1,45 @@
+#include "net/pcap.h"
+
+namespace netseer::net {
+
+namespace {
+constexpr std::uint32_t kMagic = 0xa1b2c3d4;  // microsecond timestamps
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+constexpr std::uint32_t kSnapLen = 65535;
+}  // namespace
+
+PcapWriter::PcapWriter(std::ostream& out) : out_(out) {
+  put_u32(kMagic);
+  put_u16(2);  // version 2.4
+  put_u16(4);
+  put_u32(0);  // thiszone
+  put_u32(0);  // sigfigs
+  put_u32(kSnapLen);
+  put_u32(kLinkTypeEthernet);
+}
+
+void PcapWriter::write(const packet::Packet& pkt, util::SimTime at) {
+  const auto bytes = packet::wire::serialize(pkt);
+  put_u32(static_cast<std::uint32_t>(at / util::kSecond));
+  put_u32(static_cast<std::uint32_t>((at % util::kSecond) / util::kMicrosecond));
+  put_u32(static_cast<std::uint32_t>(bytes.size()));  // captured
+  put_u32(static_cast<std::uint32_t>(bytes.size()));  // original
+  out_.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  ++frames_;
+}
+
+void PcapWriter::put_u16(std::uint16_t v) {
+  // Native-order header fields per the classic pcap format; write
+  // little-endian explicitly for portability.
+  const char raw[2] = {static_cast<char>(v & 0xff), static_cast<char>(v >> 8)};
+  out_.write(raw, 2);
+}
+
+void PcapWriter::put_u32(std::uint32_t v) {
+  const char raw[4] = {static_cast<char>(v & 0xff), static_cast<char>((v >> 8) & 0xff),
+                       static_cast<char>((v >> 16) & 0xff), static_cast<char>(v >> 24)};
+  out_.write(raw, 4);
+}
+
+}  // namespace netseer::net

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <ostream>
+
+#include "packet/wire.h"
+#include "util/time.h"
+
+namespace netseer::net {
+
+/// Classic libpcap file writer (magic 0xa1b2c3d4, LINKTYPE_ETHERNET).
+/// Frames are rendered through the byte-exact wire serializer, so dumps
+/// open in Wireshark/tcpdump with valid checksums — including NetSeer's
+/// sequence shims (ethertype 0x88b5) and PFC frames.
+class PcapWriter {
+ public:
+  explicit PcapWriter(std::ostream& out);
+
+  /// Append one frame with the given simulated timestamp.
+  void write(const packet::Packet& pkt, util::SimTime at);
+
+  [[nodiscard]] std::size_t frames_written() const { return frames_; }
+
+ private:
+  void put_u16(std::uint16_t v);
+  void put_u32(std::uint32_t v);
+
+  std::ostream& out_;
+  std::size_t frames_ = 0;
+};
+
+}  // namespace netseer::net

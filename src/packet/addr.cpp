@@ -1,0 +1,47 @@
+#include "packet/addr.h"
+
+#include <cstdio>
+
+namespace netseer::packet {
+
+std::string MacAddr::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", bytes[0], bytes[1], bytes[2],
+                bytes[3], bytes[4], bytes[5]);
+  return buf;
+}
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  std::uint32_t octets[4] = {0, 0, 0, 0};
+  int octet_index = 0;
+  bool digit_seen = false;
+  for (char c : text) {
+    if (c >= '0' && c <= '9') {
+      octets[octet_index] = octets[octet_index] * 10 + static_cast<std::uint32_t>(c - '0');
+      if (octets[octet_index] > 255) return std::nullopt;
+      digit_seen = true;
+    } else if (c == '.') {
+      if (!digit_seen || octet_index == 3) return std::nullopt;
+      ++octet_index;
+      digit_seen = false;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (octet_index != 3 || !digit_seen) return std::nullopt;
+  return from_octets(static_cast<std::uint8_t>(octets[0]), static_cast<std::uint8_t>(octets[1]),
+                     static_cast<std::uint8_t>(octets[2]), static_cast<std::uint8_t>(octets[3]));
+}
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value >> 24) & 0xff, (value >> 16) & 0xff,
+                (value >> 8) & 0xff, value & 0xff);
+  return buf;
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return network.to_string() + "/" + std::to_string(length);
+}
+
+}  // namespace netseer::packet

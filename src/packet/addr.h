@@ -1,0 +1,68 @@
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace netseer::packet {
+
+/// 48-bit Ethernet MAC address.
+struct MacAddr {
+  std::array<std::uint8_t, 6> bytes{};
+
+  constexpr auto operator<=>(const MacAddr&) const = default;
+
+  /// Deterministic address derived from a small integer node id,
+  /// locally-administered unicast (02:xx:...).
+  [[nodiscard]] static constexpr MacAddr from_node_id(std::uint32_t id) {
+    return MacAddr{{0x02, 0x00,
+                    static_cast<std::uint8_t>(id >> 24), static_cast<std::uint8_t>(id >> 16),
+                    static_cast<std::uint8_t>(id >> 8), static_cast<std::uint8_t>(id)}};
+  }
+
+  /// 01:80:C2:00:00:01 — the reserved destination for PFC/PAUSE frames.
+  [[nodiscard]] static constexpr MacAddr pfc_multicast() {
+    return MacAddr{{0x01, 0x80, 0xc2, 0x00, 0x00, 0x01}};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// IPv4 address held in host byte order.
+struct Ipv4Addr {
+  std::uint32_t value = 0;
+
+  constexpr auto operator<=>(const Ipv4Addr&) const = default;
+
+  [[nodiscard]] static constexpr Ipv4Addr from_octets(std::uint8_t a, std::uint8_t b,
+                                                      std::uint8_t c, std::uint8_t d) {
+    return Ipv4Addr{(std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                    (std::uint32_t{c} << 8) | std::uint32_t{d}};
+  }
+
+  /// Parse dotted-quad ("10.0.1.2"); returns nullopt on malformed input.
+  [[nodiscard]] static std::optional<Ipv4Addr> parse(std::string_view text);
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A prefix for longest-prefix-match routing, e.g. 10.1.0.0/16.
+struct Ipv4Prefix {
+  Ipv4Addr network{};
+  std::uint8_t length = 0;  // 0..32
+
+  constexpr auto operator<=>(const Ipv4Prefix&) const = default;
+
+  [[nodiscard]] constexpr std::uint32_t mask() const {
+    return length == 0 ? 0 : (~std::uint32_t{0} << (32 - length));
+  }
+  [[nodiscard]] constexpr bool contains(Ipv4Addr addr) const {
+    return (addr.value & mask()) == (network.value & mask());
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace netseer::packet

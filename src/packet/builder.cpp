@@ -1,0 +1,49 @@
+#include "packet/builder.h"
+
+namespace netseer::packet {
+
+namespace {
+Packet make_ipv4(const FlowKey& flow, std::uint32_t payload_bytes) {
+  Packet pkt;
+  pkt.uid = next_packet_uid();
+  pkt.kind = PacketKind::kData;
+  pkt.ip = Ipv4Header{};
+  pkt.ip->src = flow.src;
+  pkt.ip->dst = flow.dst;
+  pkt.ip->proto = flow.proto;
+  pkt.l4.sport = flow.sport;
+  pkt.l4.dport = flow.dport;
+  pkt.payload_bytes = payload_bytes;
+  return pkt;
+}
+}  // namespace
+
+Packet make_tcp(const FlowKey& flow, std::uint32_t payload_bytes, std::uint8_t flags,
+                std::uint32_t seq) {
+  FlowKey k = flow;
+  k.proto = static_cast<std::uint8_t>(IpProto::kTcp);
+  Packet pkt = make_ipv4(k, payload_bytes);
+  pkt.l4.flags = flags;
+  pkt.l4.seq = seq;
+  return pkt;
+}
+
+Packet make_udp(const FlowKey& flow, std::uint32_t payload_bytes) {
+  FlowKey k = flow;
+  k.proto = static_cast<std::uint8_t>(IpProto::kUdp);
+  return make_ipv4(k, payload_bytes);
+}
+
+Packet make_pfc(std::uint8_t priority_class, std::uint16_t quanta) {
+  Packet pkt;
+  pkt.uid = next_packet_uid();
+  pkt.kind = PacketKind::kPfc;
+  pkt.eth.dst = MacAddr::pfc_multicast();
+  PfcFrame pfc;
+  pfc.class_enable = static_cast<std::uint8_t>(1u << priority_class);
+  pfc.pause_quanta[priority_class] = quanta;
+  pkt.pfc = pfc;
+  return pkt;
+}
+
+}  // namespace netseer::packet

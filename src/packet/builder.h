@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+
+#include "packet/packet.h"
+
+namespace netseer::packet {
+
+/// Convenience constructors for the packet shapes the simulator and tests
+/// build most often. All of them assign a fresh uid and stamp origin
+/// metadata left to the caller.
+
+/// A TCP data segment for `flow` with `payload_bytes` of payload.
+[[nodiscard]] Packet make_tcp(const FlowKey& flow, std::uint32_t payload_bytes,
+                              std::uint8_t flags = tcp_flags::kAck, std::uint32_t seq = 0);
+
+/// A UDP datagram for `flow`.
+[[nodiscard]] Packet make_udp(const FlowKey& flow, std::uint32_t payload_bytes);
+
+/// A PFC frame pausing (`quanta` > 0) or resuming (`quanta` == 0) the
+/// given priority class.
+[[nodiscard]] Packet make_pfc(std::uint8_t priority_class, std::uint16_t quanta);
+
+}  // namespace netseer::packet

@@ -1,0 +1,66 @@
+#include "packet/flow_key.h"
+
+#include <cstdio>
+
+#include "util/hash.h"
+
+namespace netseer::packet {
+
+namespace {
+void put_u32(std::byte* out, std::uint32_t v) {
+  out[0] = static_cast<std::byte>(v >> 24);
+  out[1] = static_cast<std::byte>(v >> 16);
+  out[2] = static_cast<std::byte>(v >> 8);
+  out[3] = static_cast<std::byte>(v);
+}
+void put_u16(std::byte* out, std::uint16_t v) {
+  out[0] = static_cast<std::byte>(v >> 8);
+  out[1] = static_cast<std::byte>(v);
+}
+std::uint32_t get_u32(const std::byte* in) {
+  return (std::uint32_t(in[0]) << 24) | (std::uint32_t(in[1]) << 16) |
+         (std::uint32_t(in[2]) << 8) | std::uint32_t(in[3]);
+}
+std::uint16_t get_u16(const std::byte* in) {
+  return static_cast<std::uint16_t>((std::uint16_t(in[0]) << 8) | std::uint16_t(in[1]));
+}
+}  // namespace
+
+std::array<std::byte, FlowKey::kPackedSize> FlowKey::packed() const noexcept {
+  std::array<std::byte, kPackedSize> raw{};
+  put_u32(raw.data(), src.value);
+  put_u32(raw.data() + 4, dst.value);
+  raw[8] = static_cast<std::byte>(proto);
+  put_u16(raw.data() + 9, sport);
+  put_u16(raw.data() + 11, dport);
+  return raw;
+}
+
+FlowKey FlowKey::from_packed(const std::array<std::byte, kPackedSize>& raw) noexcept {
+  FlowKey key;
+  key.src.value = get_u32(raw.data());
+  key.dst.value = get_u32(raw.data() + 4);
+  key.proto = static_cast<std::uint8_t>(raw[8]);
+  key.sport = get_u16(raw.data() + 9);
+  key.dport = get_u16(raw.data() + 11);
+  return key;
+}
+
+std::uint64_t FlowKey::hash64() const noexcept {
+  const auto raw = packed();
+  return util::fnv1a64(raw);
+}
+
+std::uint32_t FlowKey::crc32() const noexcept {
+  const auto raw = packed();
+  return util::crc32(raw);
+}
+
+std::string FlowKey::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s:%u>%s:%u/%u", src.to_string().c_str(), sport,
+                dst.to_string().c_str(), dport, proto);
+  return buf;
+}
+
+}  // namespace netseer::packet

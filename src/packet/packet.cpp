@@ -1,0 +1,74 @@
+#include "packet/packet.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+namespace netseer::packet {
+
+const char* to_string(PacketKind kind) {
+  switch (kind) {
+    case PacketKind::kData: return "data";
+    case PacketKind::kPfc: return "pfc";
+    case PacketKind::kProbe: return "probe";
+    case PacketKind::kProbeReply: return "probe-reply";
+    case PacketKind::kLossNotify: return "loss-notify";
+    case PacketKind::kCebp: return "cebp";
+    case PacketKind::kEventReport: return "event-report";
+    case PacketKind::kReportAck: return "report-ack";
+    case PacketKind::kPostcard: return "postcard";
+    case PacketKind::kSampleMirror: return "sample-mirror";
+    case PacketKind::kEverflowMirror: return "everflow-mirror";
+  }
+  return "?";
+}
+
+FlowKey Packet::flow() const {
+  if (!ip) return FlowKey{};
+  return FlowKey{ip->src, ip->dst, ip->proto, l4.sport, l4.dport};
+}
+
+std::uint32_t Packet::header_bytes() const {
+  std::uint32_t bytes = kEthHeaderBytes;
+  if (vlan) bytes += kVlanTagBytes;
+  if (seq_tag) bytes += kSeqTagBytes;
+  if (pfc) {
+    // MAC control opcode (2) + class-enable vector (2) + 8 quanta (16).
+    bytes += 20;
+  }
+  if (ip) {
+    bytes += Ipv4Header::kWireSize;
+    if (is_tcp()) {
+      bytes += L4Header::kTcpWireSize;
+    } else if (is_udp()) {
+      bytes += L4Header::kUdpWireSize;
+    }
+  }
+  return bytes + kEthFcsBytes;
+}
+
+std::uint32_t Packet::wire_bytes() const {
+  std::uint32_t bytes = header_bytes() + payload_bytes;
+  if (control) bytes += control->wire_size();
+  return std::max(bytes, kMinFrameBytes);
+}
+
+std::string Packet::summary() const {
+  char buf[128];
+  if (ip) {
+    std::snprintf(buf, sizeof(buf), "[%s %s len=%u ttl=%u%s]", to_string(kind),
+                  flow().to_string().c_str(), wire_bytes(), ip->ttl,
+                  corrupted ? " CORRUPT" : "");
+  } else {
+    std::snprintf(buf, sizeof(buf), "[%s len=%u%s]", to_string(kind), wire_bytes(),
+                  corrupted ? " CORRUPT" : "");
+  }
+  return buf;
+}
+
+util::PacketUid next_packet_uid() {
+  static std::atomic<util::PacketUid> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace netseer::packet

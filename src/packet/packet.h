@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "packet/flow_key.h"
+#include "packet/headers.h"
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace netseer::packet {
+
+/// Discriminates what a frame carries beyond its headers. The data plane
+/// itself only ever branches on headers; `kind` exists so simulation
+/// components can cheaply recognize their own control traffic without
+/// re-parsing payload bytes.
+enum class PacketKind : std::uint8_t {
+  kData = 0,         // application traffic
+  kPfc,              // 802.1Qbb pause/resume frame
+  kProbe,            // Pingmesh-style probe
+  kProbeReply,       //   ... and its reply
+  kLossNotify,       // NetSeer inter-switch loss notification (§3.3)
+  kCebp,             // circulating event batching packet (§3.5)
+  kEventReport,      // batched flow events, switch CPU -> backend
+  kReportAck,        // backend -> switch CPU reliable-transport ack
+  kPostcard,         // NetSight per-packet postcard mirror
+  kSampleMirror,     // 1:N sampled packet mirror
+  kEverflowMirror,   // EverFlow SYN/FIN or on-demand telemetry mirror
+};
+
+[[nodiscard]] const char* to_string(PacketKind kind);
+
+/// Base class for structured control payloads riding inside packets.
+/// Modules define their own payloads (loss notifications, event batches,
+/// probes); `wire_size()` is the payload's on-the-wire byte count so frame
+/// length accounting stays honest. Payloads are immutable and shared so
+/// copying a Packet stays cheap.
+class ControlPayload {
+ public:
+  virtual ~ControlPayload() = default;
+  [[nodiscard]] virtual std::uint32_t wire_size() const = 0;
+};
+
+/// Per-packet metadata that exists only inside the simulator (it models
+/// switch PHV metadata plus ground-truth bookkeeping; none of it is on
+/// the wire).
+struct PacketMeta {
+  util::PortId ingress_port = util::kInvalidPort;   // set by the receiving node
+  util::SimTime ingress_time = 0;                   // arrival at current node
+  util::SimTime enqueue_time = 0;                   // when queued in the MMU
+  util::QueueId queue = 0;                          // egress priority queue
+  util::NodeId origin_node = util::kInvalidNode;    // node that created the packet
+  util::SimTime created_time = 0;
+  bool mmu_accounted = false;  // packet holds PFC ingress-buffer credit
+};
+
+/// The simulated frame. A value type: pipelines mutate their copy and the
+/// link layer moves it. Headers mirror what the wire serializer emits;
+/// `payload_bytes` stands in for application payload content we never
+/// need to materialize.
+struct Packet {
+  util::PacketUid uid = 0;
+  PacketKind kind = PacketKind::kData;
+
+  EthernetHeader eth{};
+  std::optional<VlanTag> vlan;
+  /// NetSeer inter-switch consecutive packet ID shim (§3.3). Inserted by
+  /// the upstream egress, removed by the downstream ingress.
+  std::optional<std::uint32_t> seq_tag;
+  std::optional<Ipv4Header> ip;
+  L4Header l4{};
+  std::optional<PfcFrame> pfc;
+
+  /// Virtual application payload length in bytes (content not modeled).
+  std::uint32_t payload_bytes = 0;
+  /// Set by the link corruption process: the next MAC that receives this
+  /// frame will fail the FCS check and discard it silently.
+  bool corrupted = false;
+
+  std::shared_ptr<const ControlPayload> control;
+
+  PacketMeta meta{};
+
+  /// 5-tuple of an IPv4 packet; zero key for non-IP frames.
+  [[nodiscard]] FlowKey flow() const;
+
+  [[nodiscard]] bool is_ipv4() const { return ip.has_value(); }
+  [[nodiscard]] bool is_tcp() const {
+    return ip && ip->proto == static_cast<std::uint8_t>(IpProto::kTcp);
+  }
+  [[nodiscard]] bool is_udp() const {
+    return ip && ip->proto == static_cast<std::uint8_t>(IpProto::kUdp);
+  }
+
+  /// Total frame length on the wire in bytes, including Ethernet header,
+  /// shims, IP/L4 headers, payload (or control payload), and FCS; padded
+  /// to the 64-byte Ethernet minimum.
+  [[nodiscard]] std::uint32_t wire_bytes() const;
+
+  /// Header-only bytes (wire_bytes minus payload and padding).
+  [[nodiscard]] std::uint32_t header_bytes() const;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+inline constexpr std::uint32_t kEthHeaderBytes = 14;
+inline constexpr std::uint32_t kEthFcsBytes = 4;
+inline constexpr std::uint32_t kVlanTagBytes = 4;
+/// NetSeer sequence shim on the wire: 4-byte packet ID plus the 2-byte
+/// encapsulated ethertype (the paper avoids this cost by reusing unused
+/// VLAN/IP-option bits; our explicit shim makes the overhead visible).
+inline constexpr std::uint32_t kSeqTagBytes = 6;
+inline constexpr std::uint32_t kMinFrameBytes = 64;
+inline constexpr std::uint32_t kDefaultMtu = 1500;  // max IP datagram bytes
+
+/// Process-wide monotonically increasing packet uid source. Determinism
+/// note: uids order packet *creation*, they carry no timing meaning.
+[[nodiscard]] util::PacketUid next_packet_uid();
+
+}  // namespace netseer::packet

@@ -1,0 +1,248 @@
+#include "pdp/switch.h"
+
+#include "net/host.h"
+#include "packet/builder.h"
+
+namespace netseer::pdp {
+
+Switch::Switch(sim::Simulator& sim, util::NodeId id, std::string name,
+               const SwitchConfig& config)
+    : Node(id, std::move(name)), sim_(sim), config_(config),
+      links_(config.num_ports, nullptr), port_up_(config.num_ports, true),
+      counters_(config.num_ports), mmu_(config.mmu, config.num_ports) {
+  if (config_.ecmp_seed == 0) config_.ecmp_seed = id;
+  ports_.reserve(config_.num_ports);
+  for (std::uint16_t p = 0; p < config_.num_ports; ++p) {
+    auto port = std::make_unique<net::TxPort>(sim_, config_.port_rate);
+    const util::PortId port_id = p;
+    port->set_dequeue_hook(
+        [this, port_id](packet::Packet& pkt, util::QueueId queue, util::SimDuration delay) {
+          handle_egress(pkt, port_id, queue, delay);
+        });
+    ports_.push_back(std::move(port));
+  }
+}
+
+void Switch::connect(util::PortId port, net::Link* link) {
+  links_[port] = link;
+  ports_[port]->set_out(link);
+}
+
+void Switch::set_port_up(util::PortId port, bool up) {
+  port_up_[port] = up;
+  ports_[port]->set_up(up);
+}
+
+void Switch::add_agent(SwitchAgent* agent) {
+  agents_.push_back(agent);
+  agent->attach(*this);
+}
+
+std::uint64_t Switch::total_drops() const {
+  std::uint64_t total = 0;
+  for (auto c : drop_counters_) total += c;
+  return total;
+}
+
+void Switch::receive(packet::Packet&& pkt, util::PortId in_port) {
+  // A dead ASIC eats everything before any programmable logic runs —
+  // the one failure class NetSeer cannot cover (§3.7).
+  if (hardware_fault_ == HardwareFault::kAsicFailure) {
+    ++hardware_discards_;
+    return;
+  }
+
+  auto& counters = counters_[in_port];
+  pkt.meta.ingress_port = in_port;
+  pkt.meta.ingress_time = sim_.now();
+
+  // MAC layer: frames failing the FCS check are discarded silently; the
+  // only trace is a per-port error counter (and, with NetSeer, the
+  // sequence gap the upstream detector will be told about).
+  if (pkt.corrupted) {
+    ++counters.rx_fcs_errors;
+    for (auto* agent : agents_) agent->on_mac_rx(*this, pkt, in_port, /*corrupted=*/true);
+    return;
+  }
+  ++counters.rx_packets;
+  counters.rx_bytes += pkt.wire_bytes();
+  for (auto* agent : agents_) agent->on_mac_rx(*this, pkt, in_port, /*corrupted=*/false);
+
+  // MAC control: PFC pause/resume is consumed here, before the pipeline.
+  if (pkt.kind == packet::PacketKind::kPfc && pkt.pfc) {
+    handle_pfc(pkt, in_port);
+    return;
+  }
+
+  PipelineContext ctx;
+  ctx.ingress_port = in_port;
+  ctx.ingress_time = sim_.now();
+
+  for (auto* agent : agents_) {
+    if (!agent->on_ingress(*this, pkt, ctx)) return;  // consumed (e.g. loss notify)
+  }
+  run_pipeline(std::move(pkt), ctx);
+}
+
+void Switch::run_pipeline(packet::Packet&& pkt, PipelineContext ctx) {
+  // Parser: anything non-IPv4 that survived the control-frame checks is a
+  // pathological format for this L3 pipeline.
+  if (!pkt.ip) {
+    drop(pkt, ctx, DropReason::kParserError);
+    return;
+  }
+
+  // L3 route lookup + ECMP member selection.
+  const packet::FlowKey flow = pkt.flow();
+  const EcmpGroup* group = routes_.lookup(pkt.ip->dst);
+  if (group == nullptr || group->empty()) {
+    drop(pkt, ctx, DropReason::kRouteMiss);
+    return;
+  }
+  ctx.egress_port = group->select(flow, config_.ecmp_seed);
+  if (ctx.egress_port >= ports_.size()) {
+    drop(pkt, ctx, DropReason::kRouteMiss);
+    return;
+  }
+
+  // ACL.
+  const auto verdict = acl_.evaluate(flow);
+  if (!verdict.permit) {
+    ctx.acl_rule_id = verdict.rule_id;
+    drop(pkt, ctx, DropReason::kAclDeny);
+    return;
+  }
+
+  // TTL.
+  if (pkt.ip->ttl <= 1) {
+    drop(pkt, ctx, DropReason::kTtlExpired);
+    return;
+  }
+  --pkt.ip->ttl;
+
+  // Egress MTU.
+  const std::uint32_t ip_bytes = pkt.wire_bytes() - packet::kEthHeaderBytes -
+                                 packet::kEthFcsBytes -
+                                 (pkt.vlan ? packet::kVlanTagBytes : 0) -
+                                 (pkt.seq_tag ? packet::kSeqTagBytes : 0);
+  if (ip_bytes > config_.mtu) {
+    drop(pkt, ctx, DropReason::kMtuExceeded);
+    return;
+  }
+
+  // Target port / link health.
+  if (!port_up_[ctx.egress_port] ||
+      (links_[ctx.egress_port] != nullptr && !links_[ctx.egress_port]->is_up())) {
+    drop(pkt, ctx, DropReason::kPortDown);
+    return;
+  }
+
+  ctx.queue = net::queue_for(pkt);
+
+  if (config_.pipeline_latency > 0) {
+    sim_.schedule_after(config_.pipeline_latency,
+                        [this, pkt = std::move(pkt), ctx]() mutable {
+                          enqueue(std::move(pkt), ctx);
+                        });
+  } else {
+    enqueue(std::move(pkt), ctx);
+  }
+}
+
+void Switch::enqueue(packet::Packet&& pkt, const PipelineContext& ctx) {
+  // A failed MMU loses the packet without the drop-redirect path ever
+  // firing: no agent callback, no counter a collector could read.
+  if (hardware_fault_ == HardwareFault::kMmuFailure) {
+    ++hardware_discards_;
+    (void)pkt;
+    return;
+  }
+
+  auto& port = *ports_[ctx.egress_port];
+
+  // MMU admission (tail drop).
+  if (!mmu_.admit(port.queue_bytes(ctx.queue), pkt.wire_bytes())) {
+    ++drop_counters_[static_cast<std::size_t>(DropReason::kCongestion)];
+    ++counters_[ctx.egress_port].egress_drops;
+    PipelineContext drop_ctx = ctx;
+    drop_ctx.drop = DropReason::kCongestion;
+    for (auto* agent : agents_) agent->on_mmu_drop(*this, pkt, drop_ctx);
+    return;
+  }
+
+  // PFC ingress-buffer accounting.
+  const auto action = mmu_.on_enqueue(ctx.ingress_port, ctx.queue, pkt.wire_bytes());
+  if (action == Mmu::PfcAction::kPause) send_pfc(ctx.ingress_port, ctx.queue, /*pause=*/true);
+
+  const bool paused = port.is_paused(ctx.queue);
+  for (auto* agent : agents_) agent->on_enqueue(*this, pkt, ctx, paused);
+
+  // DCTCP-style ECN: CE-mark ECT packets above the marking threshold.
+  if (config_.mmu.ecn_mark_bytes > 0 && pkt.ip && pkt.ip->ecn != 0 &&
+      port.queue_bytes(ctx.queue) > config_.mmu.ecn_mark_bytes) {
+    pkt.ip->ecn = 3;  // CE
+  }
+
+  pkt.meta.mmu_accounted = true;
+  port.enqueue(std::move(pkt), ctx.queue);
+}
+
+void Switch::handle_egress(packet::Packet& pkt, util::PortId port, util::QueueId queue,
+                           util::SimDuration queue_delay) {
+  // Release PFC accounting for the ingress this packet came from.
+  if (pkt.meta.mmu_accounted) {
+    pkt.meta.mmu_accounted = false;
+    const auto action = mmu_.on_dequeue(pkt.meta.ingress_port, queue, pkt.wire_bytes());
+    if (action == Mmu::PfcAction::kResume) {
+      send_pfc(pkt.meta.ingress_port, queue, /*pause=*/false);
+    }
+  }
+
+  EgressInfo info;
+  info.ingress_port = pkt.meta.ingress_port;
+  info.egress_port = port;
+  info.queue = queue;
+  info.queue_delay = queue_delay;
+  for (auto* agent : agents_) agent->on_egress(*this, pkt, info);
+}
+
+void Switch::handle_pfc(const packet::Packet& pkt, util::PortId in_port) {
+  for (std::uint8_t cls = 0; cls < util::kNumQueues; ++cls) {
+    if (pkt.pfc->class_enable & (1u << cls)) {
+      ports_[in_port]->apply_pause(cls, pkt.pfc->pause_quanta[cls]);
+    }
+  }
+  for (auto* agent : agents_) agent->on_pfc_rx(*this, *pkt.pfc, in_port);
+}
+
+void Switch::send_pfc(util::PortId port, util::QueueId cls, bool pause) {
+  if (links_[port] == nullptr) return;
+  packet::Packet frame = packet::make_pfc(cls, pause ? 0xffff : 0);
+  frame.eth.src = packet::MacAddr::from_node_id(id());
+  frame.meta.origin_node = id();
+  frame.meta.created_time = sim_.now();
+  for (auto* agent : agents_) agent->on_pfc_tx(*this, port, cls, pause);
+  // PFC frames are MAC-generated: they bypass the egress queues.
+  links_[port]->send(std::move(frame));
+}
+
+void Switch::inject(packet::Packet&& pkt, util::PortId egress_port, util::QueueId queue) {
+  if (egress_port >= ports_.size() || !port_up_[egress_port]) return;
+  pkt.meta.origin_node = id();
+  ports_[egress_port]->enqueue(std::move(pkt), queue);
+}
+
+void Switch::inject_hardware_fault(HardwareFault fault, bool self_check_detects) {
+  hardware_fault_ = fault;
+  if (fault != HardwareFault::kNone && self_check_detects && syslog_) {
+    syslog_(id(), std::string("self-check: ") + to_string(fault));
+  }
+}
+
+void Switch::drop(const packet::Packet& pkt, PipelineContext& ctx, DropReason reason) {
+  ctx.drop = reason;
+  ++drop_counters_[static_cast<std::size_t>(reason)];
+  for (auto* agent : agents_) agent->on_pipeline_drop(*this, pkt, ctx);
+}
+
+}  // namespace netseer::pdp

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/link.h"
+#include "net/node.h"
+#include "net/tx_port.h"
+#include "pdp/acl.h"
+#include "pdp/agent.h"
+#include "pdp/mmu.h"
+#include "pdp/table.h"
+#include "pdp/types.h"
+#include "sim/simulator.h"
+#include "util/rate.h"
+
+namespace netseer::pdp {
+
+struct SwitchConfig {
+  std::uint16_t num_ports = 32;
+  util::BitRate port_rate = util::BitRate::gbps(100);
+  MmuConfig mmu{};
+  std::uint32_t mtu = packet::kDefaultMtu;
+  /// Fixed ingress-pipeline processing latency applied before enqueue.
+  util::SimDuration pipeline_latency = util::nanoseconds(400);
+  /// ECMP hash seed; defaults to the node id so neighbouring switches
+  /// hash flows independently.
+  std::uint64_t ecmp_seed = 0;
+};
+
+/// Per-port counters — the surface SNMP-style monitoring can see.
+struct PortCounters {
+  std::uint64_t rx_packets = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t rx_fcs_errors = 0;  // corrupted frames discarded by the MAC
+  std::uint64_t egress_drops = 0;   // MMU drops targeting this port
+};
+
+/// The programmable switch: parser, L3 LPM forwarding with ECMP, ACL,
+/// TTL/MTU checks, an MMU with per-queue tail drop and PFC generation,
+/// strict-priority egress scheduling, and an agent extension surface at
+/// every pipeline attachment point (see SwitchAgent).
+class Switch : public net::Node {
+ public:
+  Switch(sim::Simulator& sim, util::NodeId id, std::string name, const SwitchConfig& config);
+
+  [[nodiscard]] const SwitchConfig& config() const { return config_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+  // ---- Wiring -----------------------------------------------------------
+  /// Attach the egress side of `port` to `link`.
+  void connect(util::PortId port, net::Link* link);
+  void set_port_up(util::PortId port, bool up);
+  [[nodiscard]] bool port_up(util::PortId port) const { return port_up_[port]; }
+  [[nodiscard]] net::TxPort& port(util::PortId port) { return *ports_[port]; }
+  [[nodiscard]] const net::TxPort& port(util::PortId port) const { return *ports_[port]; }
+  [[nodiscard]] net::Link* link(util::PortId port) const { return links_[port]; }
+
+  // ---- Control plane state ----------------------------------------------
+  [[nodiscard]] LpmTable& routes() { return routes_; }
+  [[nodiscard]] AclTable& acl() { return acl_; }
+  [[nodiscard]] Mmu& mmu() { return mmu_; }
+
+  void add_agent(SwitchAgent* agent);
+
+  /// Inject an ASIC/MMU hardware failure (§3.7). If `self_check_detects`
+  /// (the common case on modern switches), the syslog callback fires;
+  /// the Case-#3 class of fault is a failure OUTSIDE the detection zone,
+  /// i.e. self_check_detects = false. kNone heals the switch.
+  void inject_hardware_fault(HardwareFault fault, bool self_check_detects = true);
+  [[nodiscard]] HardwareFault hardware_fault() const { return hardware_fault_; }
+  /// Packets eaten by a failed ASIC/MMU (invisible to all agents).
+  [[nodiscard]] std::uint64_t hardware_discards() const { return hardware_discards_; }
+
+  using SyslogFn = std::function<void(util::NodeId node, const std::string& message)>;
+  void set_syslog(SyslogFn fn) { syslog_ = std::move(fn); }
+
+  // ---- Data path ----------------------------------------------------------
+  void receive(packet::Packet&& pkt, util::PortId in_port) override;
+
+  /// Agent backdoor: enqueue a locally generated packet (loss
+  /// notification, mirror copy...) directly on an egress queue, skipping
+  /// the forwarding pipeline.
+  void inject(packet::Packet&& pkt, util::PortId egress_port, util::QueueId queue);
+
+  // ---- Observability -------------------------------------------------------
+  [[nodiscard]] const PortCounters& counters(util::PortId port) const {
+    return counters_[port];
+  }
+  [[nodiscard]] std::uint64_t drops(DropReason reason) const {
+    return drop_counters_[static_cast<std::size_t>(reason)];
+  }
+  [[nodiscard]] std::uint64_t total_drops() const;
+
+ private:
+  void run_pipeline(packet::Packet&& pkt, PipelineContext ctx);
+  void enqueue(packet::Packet&& pkt, const PipelineContext& ctx);
+  void handle_egress(packet::Packet& pkt, util::PortId port, util::QueueId queue,
+                     util::SimDuration queue_delay);
+  void handle_pfc(const packet::Packet& pkt, util::PortId in_port);
+  void send_pfc(util::PortId port, util::QueueId cls, bool pause);
+  void drop(const packet::Packet& pkt, PipelineContext& ctx, DropReason reason);
+
+  sim::Simulator& sim_;
+  SwitchConfig config_;
+  std::vector<std::unique_ptr<net::TxPort>> ports_;
+  std::vector<net::Link*> links_;
+  std::vector<bool> port_up_;
+  std::vector<PortCounters> counters_;
+  std::array<std::uint64_t, 16> drop_counters_{};
+  LpmTable routes_;
+  AclTable acl_;
+  Mmu mmu_;
+  std::vector<SwitchAgent*> agents_;
+  HardwareFault hardware_fault_ = HardwareFault::kNone;
+  std::uint64_t hardware_discards_ = 0;
+  SyslogFn syslog_;
+};
+
+}  // namespace netseer::pdp

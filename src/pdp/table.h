@@ -1,0 +1,91 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "packet/addr.h"
+#include "packet/flow_key.h"
+#include "util/hash.h"
+#include "util/ids.h"
+
+namespace netseer::pdp {
+
+/// A set of equal-cost next-hop ports. Member selection hashes the flow
+/// key with a per-switch seed so different switches pick independently,
+/// like hardware ECMP hash-seed rotation.
+struct EcmpGroup {
+  std::vector<util::PortId> ports;
+
+  [[nodiscard]] bool empty() const { return ports.empty(); }
+
+  [[nodiscard]] util::PortId select(const packet::FlowKey& flow, std::uint64_t seed) const {
+    if (ports.empty()) return util::kInvalidPort;
+    const std::uint64_t h = util::hash_combine(flow.hash64(), util::mix64(seed));
+    return ports[h % ports.size()];
+  }
+};
+
+/// Longest-prefix-match routing table. Entries can be marked corrupted to
+/// model SRAM parity errors: a corrupted entry is skipped by lookups, so
+/// exactly the flows it covered silently lose their route — the Case-#3
+/// failure mode in §5.1.
+class LpmTable {
+ public:
+  struct Entry {
+    packet::Ipv4Prefix prefix;
+    EcmpGroup nexthops;
+    bool corrupted = false;
+  };
+
+  /// Insert or replace the entry for `prefix`.
+  void insert(const packet::Ipv4Prefix& prefix, EcmpGroup nexthops) {
+    for (auto& entry : entries_) {
+      if (entry.prefix == prefix) {
+        entry.nexthops = std::move(nexthops);
+        entry.corrupted = false;
+        return;
+      }
+    }
+    entries_.push_back(Entry{prefix, std::move(nexthops), false});
+    std::sort(entries_.begin(), entries_.end(),
+              [](const Entry& a, const Entry& b) { return a.prefix.length > b.prefix.length; });
+  }
+
+  /// Remove the entry for `prefix`; returns whether it existed.
+  bool remove(const packet::Ipv4Prefix& prefix) {
+    const auto it = std::find_if(entries_.begin(), entries_.end(),
+                                 [&](const Entry& e) { return e.prefix == prefix; });
+    if (it == entries_.end()) return false;
+    entries_.erase(it);
+    return true;
+  }
+
+  /// Flip the parity-error flag on the entry for `prefix`.
+  bool set_corrupted(const packet::Ipv4Prefix& prefix, bool corrupted) {
+    for (auto& entry : entries_) {
+      if (entry.prefix == prefix) {
+        entry.corrupted = corrupted;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Longest matching healthy entry, or nullptr on miss.
+  [[nodiscard]] const EcmpGroup* lookup(packet::Ipv4Addr dst) const {
+    for (const auto& entry : entries_) {  // sorted longest-first
+      if (!entry.corrupted && entry.prefix.contains(dst)) return &entry.nexthops;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace netseer::pdp

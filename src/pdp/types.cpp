@@ -1,0 +1,30 @@
+#include "pdp/types.h"
+
+namespace netseer::pdp {
+
+const char* to_string(DropReason reason) {
+  switch (reason) {
+    case DropReason::kNone: return "none";
+    case DropReason::kRouteMiss: return "route-miss";
+    case DropReason::kPortDown: return "port-down";
+    case DropReason::kAclDeny: return "acl-deny";
+    case DropReason::kTtlExpired: return "ttl-expired";
+    case DropReason::kMtuExceeded: return "mtu-exceeded";
+    case DropReason::kParserError: return "parser-error";
+    case DropReason::kCongestion: return "congestion";
+    case DropReason::kLinkLoss: return "link-loss";
+    case DropReason::kCorruption: return "corruption";
+  }
+  return "?";
+}
+
+const char* to_string(HardwareFault fault) {
+  switch (fault) {
+    case HardwareFault::kNone: return "none";
+    case HardwareFault::kAsicFailure: return "asic-failure";
+    case HardwareFault::kMmuFailure: return "mmu-failure";
+  }
+  return "?";
+}
+
+}  // namespace netseer::pdp

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace netseer::scenarios::stats {
+
+/// Published production statistics from the paper's motivation section.
+/// These are NOT reproducible from simulation — they summarize O(100)
+/// real Alibaba service tickets (2018-2019). They are encoded here
+/// because the incident scenarios (§5.1) weight their fault mix by these
+/// fractions, and bench_fig3_drop_mix prints them next to the simulator's
+/// reproduced drop-type mix.
+
+/// Figure 3 (left): fraction of NPA-causing packet drops by type.
+struct DropMixEntry {
+  std::string_view type;
+  double fraction;
+  double avg_location_minutes;  // §3.3 text: inter-switch/card ~161 min
+};
+inline constexpr std::array<DropMixEntry, 6> kDropMix = {{
+    {"pipeline", 0.62, 45.0},      // ">60% ... routing blackholes, ACL, TTL, MTU"
+    {"congestion", 0.10, 30.0},    // "about 10%, mostly large-scale incasts"
+    {"inter-switch", 0.12, 161.0}, // "inter-switch and inter-card together 18%"
+    {"inter-card", 0.06, 161.0},
+    {"asic-failure", 0.05, 60.0},  // "~10% from malfunctioning hardware"
+    {"mmu-failure", 0.05, 60.0},
+}};
+
+/// Figure 3 (right): of the drops taking >180 minutes to locate, half
+/// are inter-switch/inter-card.
+inline constexpr double kSlowLocationInterSwitchShare = 0.50;
+
+/// §3.3: fraction of NPAs caused by packet drops of some kind.
+inline constexpr double kNpaFractionFromDrops = 0.86;
+
+/// §2.1: NPAs as a share of all network faults in 2019.
+inline constexpr double kNpaShareOfFaults2019 = 0.80;
+
+/// Figure 1(b): fraction of NPAs actually caused by the network, by NPA
+/// symptom (the rest are servers, provisioning, power, attacks).
+struct NpaSourceEntry {
+  std::string_view symptom;
+  double network;
+  double server;
+  double other;
+};
+inline constexpr std::array<NpaSourceEntry, 3> kNpaSources = {{
+    {"long-tail-latency", 0.35, 0.40, 0.25},
+    {"bandwidth-loss", 0.50, 0.30, 0.20},
+    {"packet-timeout", 0.45, 0.35, 0.20},
+}};
+
+/// §5.2 capacity discussion: 99th-percentile per-second MMU drop rate in
+/// production, and the corrupted-link statistics from [Zhuo et al. 2017].
+inline constexpr double kMmuDropRateP99 = 2.9e-5;
+inline constexpr double kCorruptedLinksBelow1e3Ratio = 0.8733;
+
+}  // namespace netseer::scenarios::stats

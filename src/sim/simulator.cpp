@@ -1,0 +1,57 @@
+#include "sim/simulator.h"
+
+namespace netseer::sim {
+
+TaskHandle Simulator::schedule_at(SimTime when, std::function<void()> fn) {
+  auto alive = std::make_shared<bool>(true);
+  if (when < now_) when = now_;
+  queue_.push(Entry{when, next_seq_++, std::move(fn), alive, /*oneshot=*/true});
+  return TaskHandle(std::move(alive));
+}
+
+TaskHandle Simulator::schedule_every(SimDuration interval, std::function<void()> fn) {
+  auto alive = std::make_shared<bool>(true);
+  // Each firing reschedules itself while the shared token stays alive.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, interval, fn = std::move(fn), alive, tick]() {
+    if (!*alive) return;
+    fn();
+    if (!*alive) return;
+    queue_.push(Entry{now_ + interval, next_seq_++, *tick, alive, /*oneshot=*/false});
+  };
+  queue_.push(Entry{now_ + interval, next_seq_++, *tick, alive, /*oneshot=*/false});
+  return TaskHandle(std::move(alive));
+}
+
+void Simulator::execute(Entry& entry) {
+  ++processed_;
+  entry.fn();
+  // One-shot handles report inactive after firing, so owners can re-arm
+  // timers by checking handle.active().
+  if (entry.oneshot && entry.alive) *entry.alive = false;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    now_ = entry.when;
+    if (entry.alive && !*entry.alive) continue;
+    execute(entry);
+  }
+}
+
+void Simulator::run_until(SimTime limit) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.top().when <= limit) {
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    now_ = entry.when;
+    if (entry.alive && !*entry.alive) continue;
+    execute(entry);
+  }
+  if (!stopped_ && now_ < limit) now_ = limit;
+}
+
+}  // namespace netseer::sim

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/time.h"
+
+namespace netseer::sim {
+
+using util::SimDuration;
+using util::SimTime;
+
+/// Cancellation token for a scheduled callback. Destroying the handle does
+/// NOT cancel (fire-and-forget is the common case); call cancel().
+/// A one-shot task's handle reports active() == false once it has fired;
+/// a periodic task stays active until cancelled.
+class TaskHandle {
+ public:
+  TaskHandle() = default;
+
+  void cancel() {
+    if (alive_) *alive_ = false;
+  }
+  [[nodiscard]] bool active() const { return alive_ && *alive_; }
+
+ private:
+  friend class Simulator;
+  explicit TaskHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+/// Single-threaded discrete-event simulator with integer-nanosecond
+/// virtual time. Events scheduled for the same instant run in scheduling
+/// order, so runs are bit-reproducible for a fixed seed.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+
+  /// Schedule `fn` at absolute time `when` (clamped to now for past times).
+  TaskHandle schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Schedule `fn` `delay` after now.
+  TaskHandle schedule_after(SimDuration delay, std::function<void()> fn) {
+    return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Schedule `fn` every `interval`, first firing at now + interval.
+  /// Cancel via the returned handle.
+  TaskHandle schedule_every(SimDuration interval, std::function<void()> fn);
+
+  /// Run until the queue drains or stop() is called.
+  void run();
+
+  /// Run all events with time <= `limit`; afterwards now() == limit (if
+  /// the simulation reached it) and later events remain queued.
+  void run_until(SimTime limit);
+
+  /// Stop the current run() / run_until() after the in-flight event.
+  void stop() { stopped_ = true; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;
+    bool oneshot = true;  // expire the handle after firing
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void execute(Entry& entry);
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace netseer::sim

@@ -1,0 +1,110 @@
+#include "traffic/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "packet/builder.h"
+
+namespace netseer::traffic {
+
+bool parse_trace(std::istream& in, std::vector<TraceRecord>& out) {
+  std::string line;
+  bool ok = true;
+  while (std::getline(in, line)) {
+    // Trim comments and whitespace-only lines.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    if (line.rfind("start_us", 0) == 0) continue;  // header
+
+    std::stringstream fields(line);
+    std::string field;
+    std::vector<std::string> parts;
+    while (std::getline(fields, field, ',')) parts.push_back(field);
+    if (parts.size() < 4) {
+      ok = false;
+      continue;
+    }
+    TraceRecord record;
+    try {
+      record.start = util::microseconds(std::stoll(parts[0]));
+      record.bytes = std::stoull(parts[3]);
+    } catch (...) {
+      ok = false;
+      continue;
+    }
+    const auto src = packet::Ipv4Addr::parse(parts[1]);
+    const auto dst = packet::Ipv4Addr::parse(parts[2]);
+    if (!src || !dst || record.start < 0) {
+      ok = false;
+      continue;
+    }
+    record.src = *src;
+    record.dst = *dst;
+    try {
+      if (parts.size() > 4) record.sport = static_cast<std::uint16_t>(std::stoul(parts[4]));
+      if (parts.size() > 5) record.dport = static_cast<std::uint16_t>(std::stoul(parts[5]));
+    } catch (...) {
+      ok = false;
+      continue;
+    }
+    out.push_back(record);
+  }
+  return ok;
+}
+
+void write_trace(std::ostream& out, const std::vector<TraceRecord>& records) {
+  out << "start_us,src,dst,bytes,sport,dport\n";
+  for (const auto& record : records) {
+    out << record.start / util::kMicrosecond << ',' << record.src.to_string() << ','
+        << record.dst.to_string() << ',' << record.bytes << ',' << record.sport << ','
+        << record.dport << '\n';
+  }
+}
+
+TraceReplayer::TraceReplayer(std::vector<net::Host*> hosts, Options options)
+    : hosts_(std::move(hosts)), options_(options) {}
+
+std::size_t TraceReplayer::replay(const std::vector<TraceRecord>& records) {
+  std::size_t scheduled = 0;
+  for (const auto& record : records) {
+    const auto it = std::find_if(hosts_.begin(), hosts_.end(), [&](const net::Host* host) {
+      return host->addr() == record.src;
+    });
+    if (it == hosts_.end()) {
+      ++skipped_;
+      continue;
+    }
+    net::Host& host = **it;
+    host.simulator().schedule_at(record.start, [this, &host, record] {
+      send_flow(host, record);
+    });
+    ++scheduled;
+  }
+  return scheduled;
+}
+
+void TraceReplayer::send_flow(net::Host& host, const TraceRecord& record) {
+  // Paced packetization, like FlowGenerator: one segment per
+  // serialization interval at the configured per-flow rate.
+  struct State {
+    packet::FlowKey flow;
+    std::uint64_t remaining;
+  };
+  auto state = std::make_shared<State>(
+      State{packet::FlowKey{record.src, record.dst, 6, record.sport, record.dport},
+            std::max<std::uint64_t>(record.bytes, 1)});
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, &host, state, step] {
+    const auto payload = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(state->remaining, options_.packet_payload));
+    host.send(packet::make_tcp(state->flow, payload));
+    state->remaining -= payload;
+    if (state->remaining > 0) {
+      host.simulator().schedule_after(options_.flow_rate.serialization_delay(payload), *step);
+    }
+  };
+  (*step)();
+}
+
+}  // namespace netseer::traffic

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "net/host.h"
+#include "util/time.h"
+
+namespace netseer::traffic {
+
+/// One flow of a replayable trace (e.g. exported from production flow
+/// logs): when it starts, its endpoints, and how many bytes it carries.
+struct TraceRecord {
+  util::SimTime start = 0;  // nanoseconds
+  packet::Ipv4Addr src{};
+  packet::Ipv4Addr dst{};
+  std::uint64_t bytes = 0;
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 80;
+};
+
+/// CSV format, one flow per line (header line optional, '#' comments):
+///
+///   start_us,src,dst,bytes[,sport[,dport]]
+///   0,10.0.0.1,10.0.1.1,14600,10001,80
+///
+/// Returns false on any malformed line (records parsed so far are kept).
+bool parse_trace(std::istream& in, std::vector<TraceRecord>& out);
+
+/// Write records back in the same format (with header).
+void write_trace(std::ostream& out, const std::vector<TraceRecord>& records);
+
+/// Replay a trace across a set of hosts (matched by source address).
+/// Flows whose source is not a known host are skipped and counted.
+class TraceReplayer {
+ public:
+  struct Options {
+    std::uint32_t packet_payload = 1000;
+    util::BitRate flow_rate = util::BitRate::gbps(1);  // per-flow pacing
+  };
+
+  explicit TraceReplayer(std::vector<net::Host*> hosts) : TraceReplayer(std::move(hosts), Options{}) {}
+  TraceReplayer(std::vector<net::Host*> hosts, Options options);
+
+  /// Schedule every record; returns the number of flows scheduled.
+  std::size_t replay(const std::vector<TraceRecord>& records);
+
+  [[nodiscard]] std::size_t skipped_unknown_sources() const { return skipped_; }
+
+ private:
+  void send_flow(net::Host& host, const TraceRecord& record);
+
+  std::vector<net::Host*> hosts_;
+  Options options_;
+  std::size_t skipped_ = 0;
+};
+
+}  // namespace netseer::traffic

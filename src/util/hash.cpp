@@ -1,0 +1,46 @@
+#include "util/hash.h"
+
+#include <array>
+
+namespace netseer::util {
+
+std::uint64_t fnv1a64(std::span<const std::byte> data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xedb88320U ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrcTable = make_crc32_table();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc, std::span<const std::byte> data) noexcept {
+  std::uint32_t c = crc ^ 0xffffffffU;
+  for (std::byte b : data) {
+    c = kCrcTable[(c ^ static_cast<std::uint8_t>(b)) & 0xffU] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffU;
+}
+
+std::uint32_t crc32(std::span<const std::byte> data) noexcept {
+  return crc32_update(0, data);
+}
+
+}  // namespace netseer::util

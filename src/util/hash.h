@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+
+namespace netseer::util {
+
+/// FNV-1a 64-bit over a byte span. Used for host-side hash maps.
+[[nodiscard]] std::uint64_t fnv1a64(std::span<const std::byte> data) noexcept;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Used as the Ethernet FCS in
+/// the wire model and as the "data-plane hash" the NetSeer pipeline
+/// pre-computes for the switch CPU (§3.6) — Tofino exposes CRC units.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::byte> data) noexcept;
+
+/// Incremental CRC-32 with explicit seed (pass the previous return value
+/// to continue a running checksum; seed with 0 for a fresh one).
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t crc, std::span<const std::byte> data) noexcept;
+
+/// Cheap stateless 64-bit integer mixer (SplitMix64 finalizer). Good for
+/// combining small fixed-width fields into table indices.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;  // golden-ratio offset so mix64(0) != 0
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Combine two hash values (boost-style).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+}  // namespace netseer::util

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+
+namespace netseer::util {
+
+/// Identifier types shared across the whole stack. Small fixed-width
+/// integers: they appear inside 24-byte event records, so width matters.
+
+/// A node (switch, host, collector) in the simulated network.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = 0xffffffffU;
+
+/// A port index local to one node. The event wire format encodes ports in
+/// one byte (Tofino 32D has 32 front-panel ports); the simulator allows
+/// up to 255 to support internal ports as well.
+using PortId = std::uint16_t;
+inline constexpr PortId kInvalidPort = 0xffff;
+
+/// A priority queue index behind a port (8 queues, PFC classes 0..7).
+using QueueId = std::uint8_t;
+inline constexpr QueueId kNumQueues = 8;
+
+/// A globally unique packet id, assigned at creation, used only by the
+/// ground-truth recorder to correlate observations — never visible to the
+/// monitored data plane.
+using PacketUid = std::uint64_t;
+
+}  // namespace netseer::util

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdio>
+#include <string_view>
+#include <utility>
+
+namespace netseer::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped. Defaults to Warn so
+/// simulations stay quiet unless a harness opts in.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, std::string_view msg);
+}
+
+/// printf-style logging. Kept deliberately tiny: the simulator's results
+/// are returned through typed APIs, logging is for humans debugging runs.
+template <typename... Args>
+void logf(LogLevel level, const char* fmt, Args&&... args) {
+  if (level < log_level()) return;
+  char buf[1024];
+  if constexpr (sizeof...(Args) == 0) {
+    std::snprintf(buf, sizeof(buf), "%s", fmt);
+  } else {
+    std::snprintf(buf, sizeof(buf), fmt, std::forward<Args>(args)...);
+  }
+  detail::log_line(level, buf);
+}
+
+#define NETSEER_LOG_DEBUG(...) ::netseer::util::logf(::netseer::util::LogLevel::kDebug, __VA_ARGS__)
+#define NETSEER_LOG_INFO(...) ::netseer::util::logf(::netseer::util::LogLevel::kInfo, __VA_ARGS__)
+#define NETSEER_LOG_WARN(...) ::netseer::util::logf(::netseer::util::LogLevel::kWarn, __VA_ARGS__)
+#define NETSEER_LOG_ERROR(...) ::netseer::util::logf(::netseer::util::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace netseer::util

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace netseer::util {
+
+/// A transmission rate in bits per second. Strongly typed so bandwidths,
+/// byte counts, and times cannot be mixed up silently.
+class BitRate {
+ public:
+  constexpr BitRate() = default;
+  constexpr explicit BitRate(std::int64_t bits_per_second) : bps_(bits_per_second) {}
+
+  [[nodiscard]] static constexpr BitRate bps(std::int64_t v) { return BitRate(v); }
+  [[nodiscard]] static constexpr BitRate kbps(std::int64_t v) { return BitRate(v * 1'000); }
+  [[nodiscard]] static constexpr BitRate mbps(std::int64_t v) { return BitRate(v * 1'000'000); }
+  [[nodiscard]] static constexpr BitRate gbps(std::int64_t v) { return BitRate(v * 1'000'000'000); }
+
+  [[nodiscard]] constexpr std::int64_t bits_per_second() const { return bps_; }
+  [[nodiscard]] constexpr double gbps_value() const { return static_cast<double>(bps_) / 1e9; }
+  [[nodiscard]] constexpr bool is_zero() const { return bps_ == 0; }
+
+  /// Time to serialize `bytes` at this rate; rounds up so a nonempty
+  /// packet never takes zero time. Zero rate means "infinitely fast".
+  [[nodiscard]] constexpr SimDuration serialization_delay(std::int64_t bytes) const {
+    if (bps_ <= 0 || bytes <= 0) return 0;
+    // ns = bits * 1e9 / bps, rounded up. 128-bit intermediate: gigabit
+    // rates times large byte counts overflow 64 bits.
+    const auto bits = static_cast<__int128>(bytes) * 8;
+    return static_cast<SimDuration>((bits * kSecond + bps_ - 1) / bps_);
+  }
+
+  /// Bytes that can be transmitted in `d` at this rate.
+  [[nodiscard]] constexpr std::int64_t bytes_in(SimDuration d) const {
+    if (bps_ <= 0 || d <= 0) return 0;
+    return static_cast<std::int64_t>(static_cast<__int128>(bps_) * d / (8 * kSecond));
+  }
+
+  constexpr auto operator<=>(const BitRate&) const = default;
+  constexpr BitRate operator+(BitRate o) const { return BitRate(bps_ + o.bps_); }
+  constexpr BitRate operator-(BitRate o) const { return BitRate(bps_ - o.bps_); }
+
+ private:
+  std::int64_t bps_ = 0;
+};
+
+/// Token-bucket rate limiter in byte units, driven by explicit timestamps
+/// (no wall clock). Used to model internal-port bandwidth, the MMU drop
+/// redirect ceiling, PCIe, and CPU-side pacing.
+class TokenBucket {
+ public:
+  /// `rate` refills the bucket; `burst_bytes` bounds accumulated credit.
+  TokenBucket(BitRate rate, std::int64_t burst_bytes)
+      : rate_(rate), burst_bytes_(burst_bytes), tokens_(burst_bytes) {}
+
+  /// Consume `bytes` at time `now` if enough credit is available.
+  /// Returns true when admitted.
+  bool try_consume(SimTime now, std::int64_t bytes) {
+    refill(now);
+    if (tokens_ >= bytes) {
+      tokens_ -= bytes;
+      return true;
+    }
+    return false;
+  }
+
+  /// Earliest time at which `bytes` of credit will exist (for pacing).
+  [[nodiscard]] SimTime time_available(SimTime now, std::int64_t bytes) {
+    refill(now);
+    if (tokens_ >= bytes) return now;
+    if (rate_.bits_per_second() <= 0) return now;  // unlimited rate
+    const std::int64_t deficit = bytes - tokens_;
+    return now + rate_.serialization_delay(deficit);
+  }
+
+  [[nodiscard]] std::int64_t tokens() const { return tokens_; }
+  [[nodiscard]] BitRate rate() const { return rate_; }
+
+ private:
+  void refill(SimTime now) {
+    if (now <= last_refill_) return;
+    tokens_ += rate_.bytes_in(now - last_refill_);
+    if (tokens_ > burst_bytes_) tokens_ = burst_bytes_;
+    last_refill_ = now;
+  }
+
+  BitRate rate_;
+  std::int64_t burst_bytes_;
+  std::int64_t tokens_;
+  SimTime last_refill_ = 0;
+};
+
+}  // namespace netseer::util

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace netseer::util {
+
+/// Deterministic pseudo-random generator (xoshiro256**), seedable per
+/// component so that independent subsystems draw from independent streams
+/// and the whole simulation replays bit-identically for a given seed.
+///
+/// Satisfies std::uniform_random_bit_generator so it can drive <random>
+/// distributions, but the helpers below avoid libstdc++ distribution
+/// implementation differences for values we want reproducible everywhere.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the stream with SplitMix64 expansion of `seed`; `stream`
+  /// decorrelates generators created from the same master seed.
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0) noexcept;
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t bound) noexcept;
+  /// Uniform in [lo, hi] inclusive; requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_range(std::int64_t lo, std::int64_t hi) noexcept;
+  /// Uniform real in [0, 1).
+  [[nodiscard]] double uniform01() noexcept;
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  [[nodiscard]] bool chance(double p) noexcept;
+  /// Exponentially distributed value with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean) noexcept;
+
+  /// Derive an independent child stream (for per-port / per-flow use).
+  [[nodiscard]] Rng fork() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// SplitMix64 step: used for seed expansion and cheap stateless mixing.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+}  // namespace netseer::util

@@ -1,0 +1,23 @@
+#include "util/time.h"
+
+#include <cstdio>
+
+namespace netseer::util {
+
+std::string format_duration(SimDuration d) {
+  char buf[64];
+  const double ad = static_cast<double>(d < 0 ? -d : d);
+  const char* sign = d < 0 ? "-" : "";
+  if (ad >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fs", sign, ad / kSecond);
+  } else if (ad >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fms", sign, ad / kMillisecond);
+  } else if (ad >= kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fus", sign, ad / kMicrosecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%ldns", sign, static_cast<long>(d < 0 ? -d : d));
+  }
+  return buf;
+}
+
+}  // namespace netseer::util

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace netseer::util {
+
+/// Simulation time in integer nanoseconds since simulation start.
+///
+/// All modules exchange time as SimTime. Integer nanoseconds keep the
+/// simulation deterministic (no float drift) and give enough range for
+/// ~292 years of simulated time in 64 bits.
+using SimTime = std::int64_t;
+
+/// A span of simulation time, also in nanoseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1'000;
+inline constexpr SimDuration kMillisecond = 1'000'000;
+inline constexpr SimDuration kSecond = 1'000'000'000;
+
+[[nodiscard]] constexpr SimDuration nanoseconds(std::int64_t n) { return n; }
+[[nodiscard]] constexpr SimDuration microseconds(std::int64_t n) { return n * kMicrosecond; }
+[[nodiscard]] constexpr SimDuration milliseconds(std::int64_t n) { return n * kMillisecond; }
+[[nodiscard]] constexpr SimDuration seconds(std::int64_t n) { return n * kSecond; }
+
+[[nodiscard]] constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+[[nodiscard]] constexpr double to_microseconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+[[nodiscard]] constexpr double to_milliseconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// Render a time as a compact human-readable string, e.g. "1.25ms".
+[[nodiscard]] std::string format_duration(SimDuration d);
+
+}  // namespace netseer::util

@@ -1,0 +1,103 @@
+#include "backend/event_store.h"
+
+#include <gtest/gtest.h>
+
+namespace netseer::backend {
+namespace {
+
+using core::EventType;
+using core::FlowEvent;
+using core::make_event;
+using packet::FlowKey;
+using packet::Ipv4Addr;
+
+FlowKey flow(std::uint16_t sport) {
+  return FlowKey{Ipv4Addr::from_octets(10, 0, 0, 1), Ipv4Addr::from_octets(10, 0, 0, 2), 6,
+                 sport, 80};
+}
+
+FlowEvent ev(EventType type, std::uint16_t sport, util::NodeId sw, util::SimTime at) {
+  auto event = make_event(type, flow(sport), sw, at);
+  return event;
+}
+
+class EventStoreTest : public ::testing::Test {
+ protected:
+  EventStoreTest() {
+    store.add(ev(EventType::kDrop, 1, 10, util::seconds(1)), util::seconds(1));
+    store.add(ev(EventType::kDrop, 2, 10, util::seconds(2)), util::seconds(2));
+    store.add(ev(EventType::kCongestion, 1, 20, util::seconds(3)), util::seconds(3));
+    store.add(ev(EventType::kPause, 3, 20, util::seconds(4)), util::seconds(4));
+  }
+  EventStore store;
+};
+
+TEST_F(EventStoreTest, QueryAll) {
+  EXPECT_EQ(store.query(EventQuery{}).size(), 4u);
+  EXPECT_EQ(store.size(), 4u);
+}
+
+TEST_F(EventStoreTest, QueryByFlow) {
+  EventQuery query;
+  query.flow = flow(1);
+  const auto results = store.query(query);
+  ASSERT_EQ(results.size(), 2u);  // drop at sw10 + congestion at sw20
+  for (const auto& r : results) EXPECT_EQ(r.event.flow, flow(1));
+}
+
+TEST_F(EventStoreTest, QueryByDevice) {
+  EventQuery query;
+  query.switch_id = 20;
+  EXPECT_EQ(store.query(query).size(), 2u);
+}
+
+TEST_F(EventStoreTest, QueryByType) {
+  EventQuery query;
+  query.type = EventType::kDrop;
+  EXPECT_EQ(store.query(query).size(), 2u);
+}
+
+TEST_F(EventStoreTest, QueryByPeriod) {
+  EventQuery query;
+  query.from = util::seconds(2);
+  query.to = util::seconds(4);
+  EXPECT_EQ(store.query(query).size(), 2u);  // t=2 and t=3; t=4 excluded
+}
+
+TEST_F(EventStoreTest, CombinedQuery) {
+  EventQuery query;
+  query.flow = flow(1);
+  query.type = EventType::kCongestion;
+  const auto results = store.query(query);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].event.switch_id, 20u);
+}
+
+TEST_F(EventStoreTest, QueryUnknownFlowEmpty) {
+  EventQuery query;
+  query.flow = flow(99);
+  EXPECT_TRUE(store.query(query).empty());
+}
+
+TEST_F(EventStoreTest, DistinctFlows) {
+  const auto flows = store.distinct_flows(EventQuery{});
+  EXPECT_EQ(flows.size(), 3u);
+}
+
+TEST_F(EventStoreTest, TotalCounter) {
+  auto big = ev(EventType::kDrop, 7, 30, util::seconds(5));
+  big.counter = 100;
+  store.add(big, util::seconds(5));
+  EventQuery query;
+  query.switch_id = 30;
+  EXPECT_EQ(store.total_counter(query), 100u);
+}
+
+TEST_F(EventStoreTest, CountMatchesQuery) {
+  EventQuery query;
+  query.type = EventType::kPause;
+  EXPECT_EQ(store.count(query), 1u);
+}
+
+}  // namespace
+}  // namespace netseer::backend

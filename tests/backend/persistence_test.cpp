@@ -1,0 +1,122 @@
+#include "backend/persistence.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace netseer::backend {
+namespace {
+
+using core::EventType;
+using core::FlowEvent;
+using packet::FlowKey;
+using packet::Ipv4Addr;
+
+FlowEvent sample_event(std::uint16_t sport, EventType type = EventType::kDrop) {
+  auto ev = core::make_event(type,
+                             FlowKey{Ipv4Addr::from_octets(10, 0, 0, 1),
+                                     Ipv4Addr::from_octets(10, 0, 0, 2), 6, sport, 80},
+                             /*switch_id=*/7, /*now=*/util::seconds(2));
+  ev.counter = sport;
+  // Only fields inside the type's wire layout persist (canonical form).
+  if (type == EventType::kDrop) ev.drop_code = 3;
+  if (type == EventType::kCongestion) ev.queue_latency_us = 120;
+  return ev;
+}
+
+TEST(Persistence, RoundTripPreservesEverything) {
+  EventStore original;
+  for (std::uint16_t s = 1; s <= 50; ++s) {
+    original.add(sample_event(s, s % 2 ? EventType::kDrop : EventType::kCongestion),
+                 util::seconds(3) + s);
+  }
+
+  std::stringstream buffer;
+  ASSERT_TRUE(save_store(original, buffer));
+
+  EventStore loaded;
+  ASSERT_TRUE(load_store(loaded, buffer));
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded.all()[i].event, original.all()[i].event);
+    EXPECT_EQ(loaded.all()[i].event.switch_id, original.all()[i].event.switch_id);
+    EXPECT_EQ(loaded.all()[i].event.detected_at, original.all()[i].event.detected_at);
+    EXPECT_EQ(loaded.all()[i].stored_at, original.all()[i].stored_at);
+  }
+}
+
+TEST(Persistence, LoadedStoreAnswersQueries) {
+  EventStore original;
+  original.add(sample_event(9), util::seconds(1));
+  std::stringstream buffer;
+  ASSERT_TRUE(save_store(original, buffer));
+  EventStore loaded;
+  ASSERT_TRUE(load_store(loaded, buffer));
+
+  EventQuery by_flow;
+  by_flow.flow = sample_event(9).flow;
+  EXPECT_EQ(loaded.query(by_flow).size(), 1u);
+  EventQuery by_switch;
+  by_switch.switch_id = 7;
+  EXPECT_EQ(loaded.query(by_switch).size(), 1u);
+}
+
+TEST(Persistence, EmptyStoreRoundTrips) {
+  EventStore empty;
+  std::stringstream buffer;
+  ASSERT_TRUE(save_store(empty, buffer));
+  EventStore loaded;
+  ASSERT_TRUE(load_store(loaded, buffer));
+  EXPECT_EQ(loaded.size(), 0u);
+}
+
+TEST(Persistence, RejectsBadMagic) {
+  std::stringstream buffer("XXXXjunk");
+  EventStore loaded;
+  EXPECT_FALSE(load_store(loaded, buffer));
+  EXPECT_EQ(loaded.size(), 0u);
+}
+
+TEST(Persistence, RejectsTruncatedInput) {
+  EventStore original;
+  original.add(sample_event(1), 0);
+  original.add(sample_event(2), 0);
+  std::stringstream buffer;
+  ASSERT_TRUE(save_store(original, buffer));
+  const std::string full = buffer.str();
+
+  // Cut mid-record: load fails but keeps the complete records read so far.
+  std::stringstream truncated(full.substr(0, full.size() - 10));
+  EventStore loaded;
+  EXPECT_FALSE(load_store(loaded, truncated));
+  EXPECT_EQ(loaded.size(), 1u);
+}
+
+TEST(Persistence, RejectsWrongVersion) {
+  EventStore original;
+  original.add(sample_event(1), 0);
+  std::stringstream buffer;
+  ASSERT_TRUE(save_store(original, buffer));
+  std::string bytes = buffer.str();
+  bytes[4] = 99;  // version low byte
+  std::stringstream bad(bytes);
+  EventStore loaded;
+  EXPECT_FALSE(load_store(loaded, bad));
+}
+
+TEST(Persistence, AppendSemantics) {
+  EventStore a;
+  a.add(sample_event(1), 0);
+  EventStore b;
+  b.add(sample_event(2), 0);
+  std::stringstream sa, sb;
+  ASSERT_TRUE(save_store(a, sa));
+  ASSERT_TRUE(save_store(b, sb));
+  EventStore merged;
+  ASSERT_TRUE(load_store(merged, sa));
+  ASSERT_TRUE(load_store(merged, sb));
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+}  // namespace
+}  // namespace netseer::backend

@@ -1,0 +1,85 @@
+#include "core/capacity.h"
+
+#include <gtest/gtest.h>
+
+namespace netseer::core::capacity {
+namespace {
+
+TEST(CebpCapacity, ThroughputRisesWithBatchSize) {
+  const CebpConfig config;
+  double prev = 0.0;
+  for (int batch : {1, 5, 10, 20, 50, 70}) {
+    const double eps = cebp_throughput_eps(config, batch);
+    EXPECT_GT(eps, prev) << batch;
+    prev = eps;
+  }
+}
+
+TEST(CebpCapacity, AsymptoteIsCebpsPerRecirc) {
+  CebpConfig config;
+  config.num_cebps = 35;
+  config.recirc_latency = util::nanoseconds(400);
+  const double limit = 35.0 * 1e9 / 400.0;  // 87.5 Meps
+  EXPECT_LT(cebp_throughput_eps(config, 10000), limit);
+  EXPECT_GT(cebp_throughput_eps(config, 10000), 0.95 * limit);
+}
+
+TEST(CebpCapacity, PaperScaleBatch50) {
+  // The paper reports ~86 Meps / ~17.7 Gb/s around batch 50 (Fig. 12).
+  const CebpConfig config;
+  const double meps = cebp_throughput_eps(config, 50) / 1e6;
+  EXPECT_GT(meps, 50.0);
+  EXPECT_LT(meps, 100.0);
+  const double gbps = cebp_throughput_gbps(config, 50);
+  EXPECT_GT(gbps, 10.0);
+  EXPECT_LT(gbps, 20.0);
+}
+
+TEST(CebpCapacity, ZeroBatchIsZero) {
+  EXPECT_EQ(cebp_throughput_eps(CebpConfig{}, 0), 0.0);
+}
+
+TEST(RingSizing, MinSlotsForPaperScenario) {
+  // Fig. 15(a): ">25 slots to retrieve at least one 1024-byte dropped
+  // packet". With 100G links and ~2 us of notification turnaround, the
+  // model lands in the same regime.
+  const auto slots = min_ring_slots(util::BitRate::gbps(100), util::microseconds(2), 1024);
+  EXPECT_GE(slots, 20u);
+  EXPECT_LE(slots, 40u);
+}
+
+TEST(RingSizing, SmallerPacketsNeedMoreSlots) {
+  const auto rate = util::BitRate::gbps(100);
+  const auto rtt = util::microseconds(2);
+  std::size_t prev = SIZE_MAX;
+  for (std::uint32_t bytes : {64u, 128u, 256u, 512u, 1024u, 1500u}) {
+    const auto slots = min_ring_slots(rate, rtt, bytes);
+    EXPECT_LT(slots, prev) << bytes;
+    prev = slots;
+  }
+}
+
+TEST(RingSizing, ConsecutiveDropsAddLinearly) {
+  const auto rate = util::BitRate::gbps(100);
+  const auto rtt = util::microseconds(2);
+  const auto base = slots_for_consecutive_drops(1, rate, rtt, 1024);
+  const auto big = slots_for_consecutive_drops(1000, rate, rtt, 1024);
+  EXPECT_EQ(big - base, 999u);
+}
+
+TEST(RingSizing, PaperSramBudget) {
+  // Fig. 15(b): 1,000 consecutive 1024 B drops on each port of a
+  // 64x100G switch within ~800 KB of SRAM.
+  const auto slots =
+      slots_for_consecutive_drops(1000, util::BitRate::gbps(100), util::microseconds(2), 1024);
+  const auto sram = ring_sram_bytes(64, slots);
+  EXPECT_LT(sram, 1000u * 1024u);
+  EXPECT_GT(sram, 500u * 1024u);
+}
+
+TEST(RingSizing, ZeroRttStillNeedsOneSlot) {
+  EXPECT_GE(min_ring_slots(util::BitRate::gbps(100), 0, 1024), 1u);
+}
+
+}  // namespace
+}  // namespace netseer::core::capacity

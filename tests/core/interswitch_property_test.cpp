@@ -1,0 +1,109 @@
+// Property tests of the inter-switch drop-detection protocol under
+// randomized loss patterns, swept over ring sizes and loss rates.
+// Invariants (§3.3): (1) with an adequately sized ring, every loss is
+// recovered with the RIGHT flow; (2) with any ring, a recovered flow is
+// never wrong; (3) duplicate notifications never double-report.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_map>
+
+#include "core/detect/interswitch.h"
+#include "packet/builder.h"
+#include "util/rng.h"
+
+namespace netseer::core {
+namespace {
+
+struct Params {
+  std::size_t ring_slots;
+  double loss_prob;
+  int packets;
+  int notify_delay_packets;  // deliveries between gap detection and notification
+};
+
+class InterSwitchProperty : public ::testing::TestWithParam<Params> {};
+
+TEST_P(InterSwitchProperty, RecoversExactlyTheLostFlows) {
+  const auto params = GetParam();
+  InterSwitchConfig config;
+  config.ring_slots = params.ring_slots;
+  InterSwitchTx tx(config);
+  InterSwitchRx rx(config);
+  util::Rng rng(static_cast<std::uint64_t>(params.ring_slots * 1000 +
+                                           params.loss_prob * 100 + params.packets));
+
+  std::map<std::uint32_t, std::uint16_t> lost;  // seq -> sport of the lost packet
+  std::unordered_map<std::uint16_t, int> recovered_per_flow;
+  int wrong_recoveries = 0;
+
+  const auto emit = [&](const packet::FlowKey& flow, std::uint32_t seq) {
+    const auto it = lost.find(seq);
+    if (it == lost.end() || it->second != flow.sport) {
+      ++wrong_recoveries;
+    } else {
+      ++recovered_per_flow[flow.sport];
+      lost.erase(it);
+    }
+  };
+
+  std::vector<InterSwitchRx::Gap> pending_gaps;
+  int delay_counter = 0;
+
+  for (int i = 0; i < params.packets; ++i) {
+    const auto sport = static_cast<std::uint16_t>(rng.uniform(32));
+    auto pkt = packet::make_tcp(
+        packet::FlowKey{packet::Ipv4Addr::from_octets(10, 0, 0, 1),
+                        packet::Ipv4Addr::from_octets(10, 0, 0, 2), 6, sport, 80},
+        500);
+    tx.on_tx(pkt, emit);
+    const std::uint32_t seq = *pkt.seq_tag;
+
+    // First packet always delivered so the receiver syncs.
+    const bool dropped = i > 0 && rng.chance(params.loss_prob);
+    if (dropped) {
+      lost.emplace(seq, sport);
+      continue;
+    }
+    if (const auto gap = rx.on_rx(pkt)) pending_gaps.push_back(*gap);
+
+    // Deliver queued notifications after a modeled flight delay,
+    // three redundant copies each (§3.3).
+    if (++delay_counter >= params.notify_delay_packets && !pending_gaps.empty()) {
+      delay_counter = 0;
+      const auto gap = pending_gaps.front();
+      pending_gaps.erase(pending_gaps.begin());
+      for (int copy = 0; copy < 3; ++copy) tx.on_notification(gap.start, gap.end, emit);
+    }
+  }
+  // Flush remaining notifications and pending lookups.
+  for (const auto& gap : pending_gaps) tx.on_notification(gap.start, gap.end, emit);
+  tx.drain(params.packets, emit);
+
+  // Invariant 2: never a wrong flow, regardless of ring size.
+  EXPECT_EQ(wrong_recoveries, 0);
+
+  // Invariant 1: with a comfortably sized ring, every loss the receiver
+  // observed as a gap is recovered — no lookup ever misses. (Trailing
+  // losses after the final delivery never become a gap; that is §3.3's
+  // inherent limit, not a ring failure.)
+  if (params.ring_slots >= 4096) {
+    EXPECT_EQ(tx.lookup_misses(), 0u);
+    EXPECT_EQ(tx.drops_reported(), rx.gap_packets());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, InterSwitchProperty,
+    ::testing::Values(Params{4096, 0.01, 5000, 8}, Params{4096, 0.10, 5000, 8},
+                      Params{4096, 0.40, 3000, 4}, Params{8192, 0.05, 10000, 16},
+                      Params{16, 0.05, 3000, 8},  // tiny ring: misses allowed, never wrong
+                      Params{4, 0.30, 2000, 2}),
+    [](const auto& info) {
+      return "ring" + std::to_string(info.param.ring_slots) + "_loss" +
+             std::to_string(static_cast<int>(info.param.loss_prob * 100)) + "_n" +
+             std::to_string(info.param.packets);
+    });
+
+}  // namespace
+}  // namespace netseer::core

@@ -1,0 +1,66 @@
+#include "net/mgmt.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace netseer::net {
+namespace {
+
+struct Msg {
+  int id = 0;
+  std::string body;
+};
+
+TEST(MgmtChannel, DeliversAfterDelay) {
+  sim::Simulator sim;
+  MgmtChannel<Msg> channel(sim, util::Rng(1), util::milliseconds(2), 0.0);
+  std::vector<std::pair<util::NodeId, Msg>> received;
+  channel.register_endpoint(2, [&](util::NodeId from, const Msg& msg) {
+    received.push_back({from, msg});
+  });
+  channel.send(1, 2, Msg{7, "hello"});
+  EXPECT_TRUE(received.empty());
+  sim.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(sim.now(), util::milliseconds(2));
+  EXPECT_EQ(received[0].first, 1u);
+  EXPECT_EQ(received[0].second.id, 7);
+  EXPECT_EQ(received[0].second.body, "hello");
+}
+
+TEST(MgmtChannel, UnknownDestinationSilentlyDropped) {
+  sim::Simulator sim;
+  MgmtChannel<Msg> channel(sim, util::Rng(1), 0, 0.0);
+  channel.send(1, 99, Msg{});
+  sim.run();  // nothing to deliver, nothing crashes
+  EXPECT_EQ(channel.messages_sent(), 1u);
+}
+
+TEST(MgmtChannel, LossRateApproximatelyHonored) {
+  sim::Simulator sim;
+  MgmtChannel<Msg> channel(sim, util::Rng(5), 0, 0.25);
+  int received = 0;
+  channel.register_endpoint(2, [&](util::NodeId, const Msg&) { ++received; });
+  for (int i = 0; i < 10000; ++i) channel.send(1, 2, Msg{i, ""});
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(channel.messages_lost()) / 10000.0, 0.25, 0.03);
+  EXPECT_EQ(received, 10000 - static_cast<int>(channel.messages_lost()));
+}
+
+TEST(MgmtChannel, MultipleEndpointsRouteIndependently) {
+  sim::Simulator sim;
+  MgmtChannel<Msg> channel(sim, util::Rng(1), 0, 0.0);
+  int a = 0, b = 0;
+  channel.register_endpoint(1, [&](util::NodeId, const Msg&) { ++a; });
+  channel.register_endpoint(2, [&](util::NodeId, const Msg&) { ++b; });
+  channel.send(2, 1, Msg{});
+  channel.send(1, 2, Msg{});
+  channel.send(1, 2, Msg{});
+  sim.run();
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+}
+
+}  // namespace
+}  // namespace netseer::net

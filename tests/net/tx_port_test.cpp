@@ -1,0 +1,185 @@
+#include "net/tx_port.h"
+
+#include <gtest/gtest.h>
+
+#include "packet/builder.h"
+
+namespace netseer::net {
+namespace {
+
+using packet::Packet;
+
+class CaptureSink final : public PacketSink {
+ public:
+  void send(Packet&& pkt) override { packets.push_back(std::move(pkt)); }
+  std::vector<Packet> packets;
+};
+
+Packet data(std::uint32_t payload = 1000, std::uint8_t dscp = 0) {
+  auto pkt = packet::make_udp(
+      packet::FlowKey{packet::Ipv4Addr::from_octets(1, 1, 1, 1),
+                      packet::Ipv4Addr::from_octets(2, 2, 2, 2), 17, 1, 2},
+      payload);
+  pkt.ip->dscp = dscp;
+  return pkt;
+}
+
+TEST(TxPort, TransmitsAtLineRate) {
+  sim::Simulator sim;
+  CaptureSink sink;
+  TxPort port(sim, util::BitRate::gbps(1));
+  port.set_out(&sink);
+
+  // 1046-byte frame at 1 Gbps = 8368 ns each.
+  port.enqueue(data(), 0);
+  port.enqueue(data(), 0);
+  sim.run();
+  EXPECT_EQ(sink.packets.size(), 2u);
+  EXPECT_EQ(sim.now(), 2 * 8368);
+  EXPECT_EQ(port.tx_packets(), 2u);
+}
+
+TEST(TxPort, StrictPriorityOrdering) {
+  sim::Simulator sim;
+  CaptureSink sink;
+  TxPort port(sim, util::BitRate::gbps(1));
+  port.set_out(&sink);
+
+  // Fill low priority first, then high; high must overtake queued low
+  // (after the in-flight packet completes).
+  port.enqueue(data(1000, 0), 0);
+  port.enqueue(data(1000, 0), 0);
+  port.enqueue(data(1000, 56), 7);  // dscp 56 -> class 7
+  sim.run();
+  ASSERT_EQ(sink.packets.size(), 3u);
+  EXPECT_EQ(sink.packets[0].meta.queue, 0);  // already serializing
+  EXPECT_EQ(sink.packets[1].meta.queue, 7);  // preempts queued low-prio
+  EXPECT_EQ(sink.packets[2].meta.queue, 0);
+}
+
+TEST(TxPort, QueueBytesTracked) {
+  sim::Simulator sim;
+  CaptureSink sink;
+  TxPort port(sim, util::BitRate::gbps(1));
+  port.set_out(&sink);
+  auto pkt = data();
+  const auto bytes = pkt.wire_bytes();
+  port.enqueue(std::move(pkt), 3);
+  // First packet starts transmitting immediately (dequeued).
+  EXPECT_EQ(port.queue_bytes(3), 0);
+  port.enqueue(data(), 3);
+  EXPECT_EQ(port.queue_bytes(3), bytes);
+  EXPECT_EQ(port.queue_depth(3), 1u);
+  sim.run();
+  EXPECT_EQ(port.queue_bytes(3), 0);
+  EXPECT_EQ(port.total_bytes(), 0);
+}
+
+TEST(TxPort, PauseBlocksClass) {
+  sim::Simulator sim;
+  CaptureSink sink;
+  TxPort port(sim, util::BitRate::gbps(1));
+  port.set_out(&sink);
+
+  port.apply_pause(0, 0xffff);
+  EXPECT_TRUE(port.is_paused(0));
+  port.enqueue(data(1000, 0), 0);
+  sim.run_until(util::microseconds(10));
+  EXPECT_TRUE(sink.packets.empty());
+
+  // Other classes still flow.
+  port.enqueue(data(1000, 56), 7);
+  sim.run_until(util::microseconds(20));
+  EXPECT_EQ(sink.packets.size(), 1u);
+  EXPECT_EQ(sink.packets[0].meta.queue, 7);
+}
+
+TEST(TxPort, PauseExpiresAutomatically) {
+  sim::Simulator sim;
+  CaptureSink sink;
+  TxPort port(sim, util::BitRate::gbps(1));
+  port.set_out(&sink);
+
+  // Quanta 100 at 1 Gbps: 100 * 512 bit-times = 51.2 us.
+  port.apply_pause(0, 100);
+  port.enqueue(data(), 0);
+  sim.run();
+  EXPECT_EQ(sink.packets.size(), 1u);
+  EXPECT_GE(sim.now(), util::nanoseconds(51200));
+}
+
+TEST(TxPort, ResumeUnblocksImmediately) {
+  sim::Simulator sim;
+  CaptureSink sink;
+  TxPort port(sim, util::BitRate::gbps(1));
+  port.set_out(&sink);
+
+  port.apply_pause(0, 0xffff);
+  port.enqueue(data(), 0);
+  sim.run_until(util::microseconds(5));
+  EXPECT_TRUE(sink.packets.empty());
+  port.apply_pause(0, 0);  // RESUME
+  sim.run();
+  EXPECT_EQ(sink.packets.size(), 1u);
+}
+
+TEST(TxPort, DownPortHoldsTraffic) {
+  sim::Simulator sim;
+  CaptureSink sink;
+  TxPort port(sim, util::BitRate::gbps(1));
+  port.set_out(&sink);
+  port.set_up(false);
+  port.enqueue(data(), 0);
+  sim.run_until(util::microseconds(100));
+  EXPECT_TRUE(sink.packets.empty());
+  port.set_up(true);
+  sim.run();
+  EXPECT_EQ(sink.packets.size(), 1u);
+}
+
+TEST(TxPort, DequeueHookObservesDelay) {
+  sim::Simulator sim;
+  CaptureSink sink;
+  TxPort port(sim, util::BitRate::gbps(1));
+  port.set_out(&sink);
+  std::vector<util::SimDuration> delays;
+  port.set_dequeue_hook([&](Packet&, util::QueueId, util::SimDuration delay) {
+    delays.push_back(delay);
+  });
+  port.enqueue(data(), 0);
+  port.enqueue(data(), 0);
+  port.enqueue(data(), 0);
+  sim.run();
+  ASSERT_EQ(delays.size(), 3u);
+  EXPECT_EQ(delays[0], 0);
+  EXPECT_EQ(delays[1], 8368);       // waited one serialization
+  EXPECT_EQ(delays[2], 2 * 8368);   // waited two
+}
+
+TEST(TxPort, HookMayGrowPacket) {
+  sim::Simulator sim;
+  CaptureSink sink;
+  TxPort port(sim, util::BitRate::gbps(1));
+  port.set_out(&sink);
+  port.set_dequeue_hook([&](Packet& pkt, util::QueueId, util::SimDuration) {
+    pkt.seq_tag = 7;  // +6 bytes on the wire (ID + encapsulated ethertype)
+  });
+  port.enqueue(data(), 0);
+  sim.run();
+  ASSERT_EQ(sink.packets.size(), 1u);
+  EXPECT_EQ(sink.packets[0].seq_tag, 7u);
+  // Serialization paid for the grown frame: 1052 bytes -> 8416 ns.
+  EXPECT_EQ(sim.now(), 8416);
+}
+
+TEST(TxPort, NoSinkNoTransmit) {
+  sim::Simulator sim;
+  TxPort port(sim, util::BitRate::gbps(1));
+  port.enqueue(data(), 0);
+  sim.run();
+  EXPECT_EQ(port.tx_packets(), 0u);
+  EXPECT_EQ(port.queue_depth(0), 1u);
+}
+
+}  // namespace
+}  // namespace netseer::net

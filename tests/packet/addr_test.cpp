@@ -1,0 +1,80 @@
+#include "packet/addr.h"
+
+#include <gtest/gtest.h>
+
+namespace netseer::packet {
+namespace {
+
+TEST(MacAddr, FromNodeIdEncodesId) {
+  const auto mac = MacAddr::from_node_id(0x01020304);
+  EXPECT_EQ(mac.bytes[0], 0x02);  // locally administered
+  EXPECT_EQ(mac.bytes[2], 0x01);
+  EXPECT_EQ(mac.bytes[5], 0x04);
+}
+
+TEST(MacAddr, ToString) {
+  EXPECT_EQ(MacAddr::from_node_id(0xff).to_string(), "02:00:00:00:00:ff");
+}
+
+TEST(MacAddr, Comparable) {
+  EXPECT_EQ(MacAddr::from_node_id(7), MacAddr::from_node_id(7));
+  EXPECT_NE(MacAddr::from_node_id(7), MacAddr::from_node_id(8));
+}
+
+TEST(Ipv4Addr, OctetsRoundTrip) {
+  const auto addr = Ipv4Addr::from_octets(10, 1, 2, 3);
+  EXPECT_EQ(addr.value, 0x0a010203u);
+  EXPECT_EQ(addr.to_string(), "10.1.2.3");
+}
+
+TEST(Ipv4Addr, ParseValid) {
+  const auto addr = Ipv4Addr::parse("192.168.0.255");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(*addr, Ipv4Addr::from_octets(192, 168, 0, 255));
+}
+
+TEST(Ipv4Addr, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Addr::parse("").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.256").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1..2.3").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.").has_value());
+}
+
+TEST(Ipv4Addr, ParseToStringRoundTrip) {
+  for (const char* text : {"0.0.0.0", "255.255.255.255", "10.0.1.2"}) {
+    const auto addr = Ipv4Addr::parse(text);
+    ASSERT_TRUE(addr.has_value());
+    EXPECT_EQ(addr->to_string(), text);
+  }
+}
+
+TEST(Ipv4Prefix, MaskComputation) {
+  EXPECT_EQ((Ipv4Prefix{{}, 0}).mask(), 0u);
+  EXPECT_EQ((Ipv4Prefix{{}, 8}).mask(), 0xff000000u);
+  EXPECT_EQ((Ipv4Prefix{{}, 24}).mask(), 0xffffff00u);
+  EXPECT_EQ((Ipv4Prefix{{}, 32}).mask(), 0xffffffffu);
+}
+
+TEST(Ipv4Prefix, Contains) {
+  const Ipv4Prefix prefix{Ipv4Addr::from_octets(10, 1, 0, 0), 16};
+  EXPECT_TRUE(prefix.contains(Ipv4Addr::from_octets(10, 1, 200, 3)));
+  EXPECT_FALSE(prefix.contains(Ipv4Addr::from_octets(10, 2, 0, 1)));
+}
+
+TEST(Ipv4Prefix, ZeroLengthContainsEverything) {
+  const Ipv4Prefix any{{}, 0};
+  EXPECT_TRUE(any.contains(Ipv4Addr::from_octets(1, 2, 3, 4)));
+  EXPECT_TRUE(any.contains(Ipv4Addr::from_octets(255, 0, 0, 1)));
+}
+
+TEST(Ipv4Prefix, ToString) {
+  const Ipv4Prefix prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 8};
+  EXPECT_EQ(prefix.to_string(), "10.0.0.0/8");
+}
+
+}  // namespace
+}  // namespace netseer::packet

@@ -1,0 +1,85 @@
+#include "packet/flow_key.h"
+
+#include <gtest/gtest.h>
+
+#include "packet/headers.h"
+#include "util/hash.h"
+
+#include <unordered_set>
+
+namespace netseer::packet {
+namespace {
+
+FlowKey sample_key() {
+  return FlowKey{Ipv4Addr::from_octets(10, 0, 1, 2), Ipv4Addr::from_octets(10, 0, 2, 3),
+                 static_cast<std::uint8_t>(IpProto::kTcp), 12345, 80};
+}
+
+TEST(FlowKey, PackedLayoutIs13Bytes) {
+  static_assert(FlowKey::kPackedSize == 13);
+  const auto raw = sample_key().packed();
+  EXPECT_EQ(raw.size(), 13u);
+  // First four bytes are the big-endian source address.
+  EXPECT_EQ(static_cast<std::uint8_t>(raw[0]), 10);
+  EXPECT_EQ(static_cast<std::uint8_t>(raw[3]), 2);
+  // Byte 8 is the protocol.
+  EXPECT_EQ(static_cast<std::uint8_t>(raw[8]), 6);
+  // Last two bytes are the big-endian destination port (80).
+  EXPECT_EQ(static_cast<std::uint8_t>(raw[11]), 0);
+  EXPECT_EQ(static_cast<std::uint8_t>(raw[12]), 80);
+}
+
+TEST(FlowKey, PackedRoundTrip) {
+  const auto key = sample_key();
+  EXPECT_EQ(FlowKey::from_packed(key.packed()), key);
+}
+
+TEST(FlowKey, HashStableAndDiscriminating) {
+  const auto key = sample_key();
+  EXPECT_EQ(key.hash64(), sample_key().hash64());
+  auto other = key;
+  other.dport = 81;
+  EXPECT_NE(key.hash64(), other.hash64());
+}
+
+TEST(FlowKey, Crc32MatchesPackedBytes) {
+  const auto key = sample_key();
+  const auto raw = key.packed();
+  EXPECT_EQ(key.crc32(), util::crc32(raw));
+}
+
+TEST(FlowKey, ReversedSwapsEndpoints) {
+  const auto key = sample_key();
+  const auto rev = key.reversed();
+  EXPECT_EQ(rev.src, key.dst);
+  EXPECT_EQ(rev.dst, key.src);
+  EXPECT_EQ(rev.sport, key.dport);
+  EXPECT_EQ(rev.dport, key.sport);
+  EXPECT_EQ(rev.reversed(), key);
+}
+
+TEST(FlowKey, UsableInUnorderedSet) {
+  std::unordered_set<FlowKey, FlowKeyHash> set;
+  set.insert(sample_key());
+  set.insert(sample_key());
+  set.insert(sample_key().reversed());
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(FlowKey, HashDistribution) {
+  // Sequential flows should not collide in 64-bit hashes.
+  std::unordered_set<std::uint64_t> hashes;
+  FlowKey key = sample_key();
+  for (std::uint16_t p = 0; p < 2000; ++p) {
+    key.sport = p;
+    hashes.insert(key.hash64());
+  }
+  EXPECT_EQ(hashes.size(), 2000u);
+}
+
+TEST(FlowKey, ToStringFormat) {
+  EXPECT_EQ(sample_key().to_string(), "10.0.1.2:12345>10.0.2.3:80/6");
+}
+
+}  // namespace
+}  // namespace netseer::packet

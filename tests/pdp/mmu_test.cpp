@@ -1,0 +1,79 @@
+#include "pdp/mmu.h"
+
+#include <gtest/gtest.h>
+
+namespace netseer::pdp {
+namespace {
+
+MmuConfig pfc_config() {
+  MmuConfig config;
+  config.queue_capacity_bytes = 10'000;
+  config.pfc_xoff_bytes = 5'000;
+  config.pfc_xon_bytes = 2'000;
+  return config;
+}
+
+TEST(Mmu, AdmitWithinCapacity) {
+  Mmu mmu(MmuConfig{.queue_capacity_bytes = 1000}, 4);
+  EXPECT_TRUE(mmu.admit(0, 1000));
+  EXPECT_TRUE(mmu.admit(500, 500));
+  EXPECT_FALSE(mmu.admit(500, 501));
+  EXPECT_FALSE(mmu.admit(1000, 1));
+}
+
+TEST(Mmu, NoPfcWhenDisabled) {
+  Mmu mmu(MmuConfig{.queue_capacity_bytes = 1000, .pfc_xoff_bytes = 0}, 4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(mmu.on_enqueue(1, 0, 1500), Mmu::PfcAction::kNone);
+  }
+}
+
+TEST(Mmu, PauseOnXoffCrossing) {
+  Mmu mmu(pfc_config(), 4);
+  EXPECT_EQ(mmu.on_enqueue(1, 3, 4000), Mmu::PfcAction::kNone);
+  EXPECT_EQ(mmu.on_enqueue(1, 3, 1500), Mmu::PfcAction::kPause);  // crosses 5000
+  // Already paused: no repeated pause.
+  EXPECT_EQ(mmu.on_enqueue(1, 3, 1500), Mmu::PfcAction::kNone);
+  EXPECT_TRUE(mmu.upstream_paused(1, 3));
+}
+
+TEST(Mmu, ResumeOnXonCrossing) {
+  Mmu mmu(pfc_config(), 4);
+  (void)mmu.on_enqueue(1, 3, 6000);
+  EXPECT_TRUE(mmu.upstream_paused(1, 3));
+  EXPECT_EQ(mmu.on_dequeue(1, 3, 3000), Mmu::PfcAction::kNone);   // 3000 > xon
+  EXPECT_EQ(mmu.on_dequeue(1, 3, 1500), Mmu::PfcAction::kResume); // 1500 <= 2000
+  EXPECT_FALSE(mmu.upstream_paused(1, 3));
+}
+
+TEST(Mmu, PerPortClassIsolation) {
+  Mmu mmu(pfc_config(), 4);
+  (void)mmu.on_enqueue(1, 3, 6000);
+  EXPECT_TRUE(mmu.upstream_paused(1, 3));
+  EXPECT_FALSE(mmu.upstream_paused(1, 2));
+  EXPECT_FALSE(mmu.upstream_paused(2, 3));
+  EXPECT_EQ(mmu.ingress_usage(1, 3), 6000);
+  EXPECT_EQ(mmu.ingress_usage(2, 3), 0);
+}
+
+TEST(Mmu, InvalidIngressIgnored) {
+  Mmu mmu(pfc_config(), 4);
+  EXPECT_EQ(mmu.on_enqueue(util::kInvalidPort, 0, 100000), Mmu::PfcAction::kNone);
+  EXPECT_EQ(mmu.on_dequeue(util::kInvalidPort, 0, 100000), Mmu::PfcAction::kNone);
+}
+
+TEST(Mmu, UsageNeverNegative) {
+  Mmu mmu(pfc_config(), 4);
+  (void)mmu.on_dequeue(1, 0, 5000);
+  EXPECT_EQ(mmu.ingress_usage(1, 0), 0);
+}
+
+TEST(Mmu, RepausesAfterResume) {
+  Mmu mmu(pfc_config(), 4);
+  EXPECT_EQ(mmu.on_enqueue(0, 0, 6000), Mmu::PfcAction::kPause);
+  EXPECT_EQ(mmu.on_dequeue(0, 0, 6000), Mmu::PfcAction::kResume);
+  EXPECT_EQ(mmu.on_enqueue(0, 0, 6000), Mmu::PfcAction::kPause);
+}
+
+}  // namespace
+}  // namespace netseer::pdp

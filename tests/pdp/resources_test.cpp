@@ -1,0 +1,70 @@
+#include "pdp/resources.h"
+
+#include <gtest/gtest.h>
+
+namespace netseer::pdp {
+namespace {
+
+TEST(ResourceModel, AccumulatesPerComponent) {
+  ResourceModel model;
+  model.add("a", Resource::kSram, 0.10);
+  model.add("a", Resource::kSram, 0.05);
+  model.add("b", Resource::kSram, 0.20);
+  EXPECT_DOUBLE_EQ(model.component_usage("a", Resource::kSram), 0.15);
+  EXPECT_DOUBLE_EQ(model.component_usage("b", Resource::kSram), 0.20);
+  EXPECT_DOUBLE_EQ(model.total(Resource::kSram), 0.35);
+  EXPECT_EQ(model.components().size(), 2u);
+}
+
+TEST(ResourceModel, UnknownComponentIsZero) {
+  ResourceModel model;
+  EXPECT_DOUBLE_EQ(model.component_usage("nope", Resource::kPhv), 0.0);
+  EXPECT_DOUBLE_EQ(model.total(Resource::kPhv), 0.0);
+}
+
+TEST(ResourceModel, TotalClampsToOne) {
+  ResourceModel model;
+  model.add("a", Resource::kTcam, 0.7);
+  model.add("b", Resource::kTcam, 0.7);
+  EXPECT_DOUBLE_EQ(model.total(Resource::kTcam), 1.0);
+}
+
+TEST(ResourceModel, ReportContainsEveryResourceAndComponent) {
+  ResourceModel model;
+  model.add("dedup", Resource::kStatefulAlu, 0.08);
+  const auto report = model.report();
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    EXPECT_NE(report.find(to_string(static_cast<Resource>(r))), std::string::npos);
+  }
+  EXPECT_NE(report.find("dedup"), std::string::npos);
+  EXPECT_NE(report.find("8.0%"), std::string::npos);
+}
+
+TEST(ResourceFractions, SramScalesLinearly) {
+  const double one_mb = sram_fraction(1 << 20);
+  const double two_mb = sram_fraction(2 << 20);
+  EXPECT_NEAR(two_mb, 2 * one_mb, 1e-12);
+  EXPECT_GT(one_mb, 0.0);
+  EXPECT_LT(one_mb, 0.1);  // 1 MB is a small slice of ~15 MB MAU SRAM
+}
+
+TEST(ResourceFractions, Clamped) {
+  EXPECT_DOUBLE_EQ(sram_fraction(1LL << 40), 1.0);
+  EXPECT_DOUBLE_EQ(sram_fraction(0), 0.0);
+  EXPECT_DOUBLE_EQ(tcam_fraction(1LL << 40), 1.0);
+}
+
+TEST(ResourceFractions, TcamIsScarcerThanSram) {
+  EXPECT_GT(tcam_fraction(100 * 1024), sram_fraction(100 * 1024));
+}
+
+TEST(ResourceNames, AllDistinct) {
+  std::set<std::string> names;
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    names.insert(to_string(static_cast<Resource>(r)));
+  }
+  EXPECT_EQ(names.size(), kNumResources);
+}
+
+}  // namespace
+}  // namespace netseer::pdp

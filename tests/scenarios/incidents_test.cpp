@@ -1,0 +1,62 @@
+#include "scenarios/incidents.h"
+
+#include <gtest/gtest.h>
+
+namespace netseer::scenarios {
+namespace {
+
+TEST(Incidents, RoutingErrorLocatedFast) {
+  IncidentSuite suite(1);
+  const auto report = suite.routing_error();
+  ASSERT_TRUE(report.located()) << report.evidence;
+  EXPECT_GT(report.attributable_events, 0u);
+  // Sub-second in-sim detection vs 162 operator-minutes in the paper.
+  EXPECT_LT(report.detection_latency, util::seconds(1));
+  EXPECT_EQ(report.id, "#1");
+}
+
+TEST(Incidents, AclMisconfigurationNamesRule) {
+  IncidentSuite suite(1);
+  const auto report = suite.acl_misconfiguration();
+  ASSERT_TRUE(report.located()) << report.evidence;
+  EXPECT_GT(report.attributable_events, 0u);
+  EXPECT_NE(report.evidence.find("rule 501"), std::string::npos);
+}
+
+TEST(Incidents, ParityErrorLocalizedToOneAgg) {
+  IncidentSuite suite(1);
+  const auto report = suite.parity_error();
+  ASSERT_TRUE(report.located()) << report.evidence;
+  // Several client flows blackholed probabilistically; all attributable.
+  EXPECT_GT(report.attributable_events, 3u);
+  EXPECT_LT(report.detection_latency, util::seconds(1));
+}
+
+TEST(Incidents, UnexpectedVolumeFindsBully) {
+  IncidentSuite suite(1);
+  const auto report = suite.unexpected_volume();
+  ASSERT_TRUE(report.located()) << report.evidence;
+  EXPECT_NE(report.evidence.find("IS a bully"), std::string::npos) << report.evidence;
+}
+
+TEST(Incidents, ServerSideBugExoneratesNetwork) {
+  IncidentSuite suite(1);
+  const auto report = suite.server_side_bug();
+  EXPECT_TRUE(report.network_exonerated) << report.evidence;
+  EXPECT_EQ(report.attributable_events, 0u);
+  // The red herring existed: unrelated events at the same ToR.
+  EXPECT_EQ(report.evidence.find(" 0 unrelated"), std::string::npos) << report.evidence;
+}
+
+TEST(Incidents, RunAllProducesFiveReports) {
+  IncidentSuite suite(2);  // different seed still works
+  const auto reports = suite.run_all();
+  ASSERT_EQ(reports.size(), 5u);
+  for (const auto& report : reports) {
+    EXPECT_FALSE(report.name.empty());
+    EXPECT_GT(report.paper_without_minutes, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace netseer::scenarios

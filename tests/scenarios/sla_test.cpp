@@ -1,0 +1,65 @@
+#include "scenarios/sla.h"
+
+#include <gtest/gtest.h>
+
+namespace netseer::scenarios {
+namespace {
+
+class SlaStudyTest : public ::testing::Test {
+ protected:
+  static const SlaStudyResult& result() {
+    static const SlaStudyResult r = run_sla_study(SlaStudyConfig{.seed = 3});
+    return r;
+  }
+};
+
+TEST_F(SlaStudyTest, ProducesSlowRpcs) {
+  EXPECT_GT(result().total_rpcs, 200u);
+  EXPECT_GT(result().slow_rpcs, 10u);
+  EXPECT_LT(result().slow_rpcs, result().total_rpcs);
+}
+
+TEST_F(SlaStudyTest, BreakdownsSumToOne) {
+  for (const auto* b : {&result().host_only, &result().host_pingmesh,
+                        &result().host_netseer, &result().truth}) {
+    EXPECT_NEAR(b->app + b->net + b->both + b->unknown, 1.0, 1e-9);
+  }
+}
+
+TEST_F(SlaStudyTest, NetSeerExplainsMost) {
+  // The Fig. 8b ordering: host < host+pingmesh <= host+netseer, with
+  // NetSeer explaining the bulk of slow RPCs.
+  EXPECT_LE(result().host_only.explained(), result().host_pingmesh.explained() + 1e-9);
+  EXPECT_LE(result().host_pingmesh.explained(), result().host_netseer.explained() + 1e-9);
+  EXPECT_GT(result().host_netseer.explained(), 0.7);
+}
+
+TEST_F(SlaStudyTest, HostOnlyCannotSeeTheNetwork) {
+  // Host metrics alone can never attribute network-caused slowness —
+  // anything not overlapping an app-metric anomaly is unknown or
+  // misattributed.
+  EXPECT_EQ(result().host_only.net, 0.0);
+  EXPECT_EQ(result().host_only.both, 0.0);
+}
+
+TEST_F(SlaStudyTest, NetSeerAttributionMostAccurate) {
+  EXPECT_GT(result().host_netseer_accuracy, result().host_only_accuracy);
+  EXPECT_GT(result().host_netseer_accuracy, result().host_pingmesh_accuracy);
+  EXPECT_GT(result().host_netseer_accuracy, 0.8);
+  // Coarse sources get some attributions wrong.
+  EXPECT_LT(result().host_pingmesh_accuracy, 0.95);
+}
+
+TEST_F(SlaStudyTest, TruthHasBothCauses) {
+  EXPECT_GT(result().truth.app + result().truth.both, 0.0);
+  EXPECT_GT(result().truth.net + result().truth.both, 0.0);
+}
+
+TEST_F(SlaStudyTest, FormatBreakdownRenders) {
+  const auto text = format_breakdown("host", result().host_only);
+  EXPECT_NE(text.find("app="), std::string::npos);
+  EXPECT_NE(text.find("explained"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netseer::scenarios

@@ -1,0 +1,161 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace netseer::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, TiesRunInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(10, [&] { order.push_back(2); });
+  sim.schedule_at(10, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(50, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(Simulator, PastTimesClampToNow) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_at(10, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(Simulator, NegativeDelayClamps) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(-50, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(Simulator, RunUntilStopsAtLimit) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(20, [&] { ++fired; });
+  sim.schedule_at(30, [&] { ++fired; });
+  sim.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20);
+  sim.run_until(100);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  auto handle = sim.schedule_at(10, [&] { ran = true; });
+  EXPECT_TRUE(handle.active());
+  handle.cancel();
+  EXPECT_FALSE(handle.active());
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(20, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  // Remaining event still queued; a new run picks it up.
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, PeriodicFiresRepeatedly) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_every(10, [&] { ++fired; });
+  sim.run_until(55);
+  EXPECT_EQ(fired, 5);  // t = 10,20,30,40,50
+}
+
+TEST(Simulator, PeriodicCancelStops) {
+  Simulator sim;
+  int fired = 0;
+  auto handle = sim.schedule_every(10, [&] { ++fired; });
+  sim.schedule_at(35, [&] { handle.cancel(); });
+  sim.run_until(1000);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, PeriodicCanCancelItself) {
+  Simulator sim;
+  int fired = 0;
+  TaskHandle handle;
+  handle = sim.schedule_every(10, [&] {
+    if (++fired == 4) handle.cancel();
+  });
+  sim.run_until(1000);
+  EXPECT_EQ(fired, 4);
+}
+
+TEST(Simulator, EventsProcessedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+TEST(Simulator, CascadedSchedulingDrains) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.schedule_after(1, chain);
+  };
+  sim.schedule_at(0, chain);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), 99);
+}
+
+TEST(Simulator, RunUntilAdvancesTimeWithoutEvents) {
+  Simulator sim;
+  sim.run_until(500);
+  EXPECT_EQ(sim.now(), 500);
+}
+
+}  // namespace
+}  // namespace netseer::sim

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace netseer::sim {
+namespace {
+
+TEST(TaskHandle, OneShotExpiresAfterFiring) {
+  Simulator sim;
+  auto handle = sim.schedule_at(10, [] {});
+  EXPECT_TRUE(handle.active());
+  sim.run();
+  // Regression: a fired one-shot must read inactive, otherwise owners
+  // that re-arm timers via active() checks (e.g. the switch CPU's report
+  // flush timer) silently never re-arm.
+  EXPECT_FALSE(handle.active());
+}
+
+TEST(TaskHandle, PeriodicStaysActiveUntilCancelled) {
+  Simulator sim;
+  int fired = 0;
+  auto handle = sim.schedule_every(10, [&] { ++fired; });
+  sim.run_until(35);
+  EXPECT_EQ(fired, 3);
+  EXPECT_TRUE(handle.active());
+  handle.cancel();
+  EXPECT_FALSE(handle.active());
+  sim.run_until(100);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(TaskHandle, RearmPatternWorks) {
+  Simulator sim;
+  int fired = 0;
+  TaskHandle timer;
+  // The switch-CPU flush-timer pattern: arm only when no timer pending.
+  const auto maybe_arm = [&] {
+    if (!timer.active()) timer = sim.schedule_after(5, [&] { ++fired; });
+  };
+  maybe_arm();
+  maybe_arm();  // second arm suppressed while pending
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  maybe_arm();  // after firing, re-arm must succeed
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(TaskHandle, DefaultHandleInactive) {
+  TaskHandle handle;
+  EXPECT_FALSE(handle.active());
+  handle.cancel();  // harmless
+}
+
+}  // namespace
+}  // namespace netseer::sim

@@ -1,0 +1,164 @@
+#include "traffic/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "fabric/network.h"
+#include "traffic/rpc.h"
+
+namespace netseer::traffic {
+namespace {
+
+using packet::Ipv4Addr;
+
+struct Net {
+  Net() : net(5) {
+    pdp::SwitchConfig sc;
+    sc.num_ports = 8;
+    sc.port_rate = util::BitRate::gbps(25);
+    sw = &net.add_switch("s", sc);
+    a = &net.add_host("a", Ipv4Addr::from_octets(10, 0, 0, 1), util::BitRate::gbps(25));
+    b = &net.add_host("b", Ipv4Addr::from_octets(10, 0, 0, 2), util::BitRate::gbps(25));
+    net.connect_host(*sw, 0, *a, util::microseconds(1));
+    net.connect_host(*sw, 1, *b, util::microseconds(1));
+    net.compute_routes();
+  }
+  fabric::Network net;
+  pdp::Switch* sw;
+  net::Host* a;
+  net::Host* b;
+};
+
+TEST(FlowGenerator, GeneratesApproximatelyTargetLoad) {
+  Net rig;
+  CountingReceiver receiver;
+  rig.b->add_app(&receiver);
+
+  GeneratorConfig config;
+  config.sizes = &web();
+  config.load = 0.5;
+  config.flow_rate = util::BitRate::gbps(5);
+  config.stop = util::milliseconds(50);
+  FlowGenerator gen(*rig.a, {rig.b->addr()}, config, util::Rng(9));
+  gen.start();
+  rig.net.simulator().run();
+
+  EXPECT_GT(gen.flows_started(), 50u);
+  EXPECT_EQ(gen.flows_completed(), gen.flows_started());
+  // Offered load within a factor of the target (Poisson + small window).
+  const double offered = static_cast<double>(gen.bytes_sent()) * 8 /
+                         util::to_seconds(util::milliseconds(50)) /
+                         static_cast<double>(util::BitRate::gbps(25).bits_per_second());
+  EXPECT_GT(offered, 0.15);
+  EXPECT_LT(offered, 1.2);
+  EXPECT_EQ(receiver.packets(), gen.packets_sent());
+}
+
+TEST(FlowGenerator, UsesDistinctFlows) {
+  Net rig;
+  GeneratorConfig config;
+  config.sizes = &web();
+  config.load = 0.3;
+  config.stop = util::milliseconds(10);
+  FlowGenerator gen(*rig.a, {rig.b->addr()}, config, util::Rng(9));
+  gen.start();
+  rig.net.simulator().run();
+  EXPECT_GT(gen.flows_started(), 5u);
+}
+
+TEST(FlowGenerator, NoDestinationsNoTraffic) {
+  Net rig;
+  GeneratorConfig config;
+  FlowGenerator gen(*rig.a, {}, config, util::Rng(9));
+  gen.start();
+  rig.net.simulator().run();
+  EXPECT_EQ(gen.flows_started(), 0u);
+}
+
+TEST(Incast, AllBytesArriveOrDrop) {
+  Net rig;
+  CountingReceiver receiver;
+  rig.b->add_app(&receiver);
+  auto& c = rig.net.add_host("c", Ipv4Addr::from_octets(10, 0, 0, 3), util::BitRate::gbps(25));
+  rig.net.connect_host(*rig.sw, 2, c, util::microseconds(1));
+  rig.net.compute_routes();
+
+  launch_incast({rig.a, &c}, rig.b->addr(), 50'000, 1000, util::microseconds(10));
+  rig.net.simulator().run();
+  // 2 senders x 50 packets; default queues are large enough.
+  EXPECT_EQ(receiver.packets(), 100u);
+}
+
+TEST(Rpc, RequestResponseLatency) {
+  Net rig;
+  RpcServer server;
+  rig.b->add_app(&server);
+  RpcClient::Config config;
+  config.server = rig.b->addr();
+  config.interval = util::microseconds(100);
+  config.stop = util::milliseconds(5);
+  RpcClient client(*rig.a, config, util::Rng(4));
+  rig.a->add_app(&client);
+  client.start();
+  rig.net.simulator().run();
+  client.finish();
+
+  ASSERT_GT(client.records().size(), 10u);
+  for (const auto& record : client.records()) {
+    EXPECT_GE(record.latency, 0) << "rpc " << record.id << " timed out";
+    // >= 2 link RTT + processing.
+    EXPECT_GT(record.latency, util::microseconds(4));
+    EXPECT_LT(record.latency, util::milliseconds(1));
+  }
+  EXPECT_EQ(server.requests(), client.records().size());
+}
+
+TEST(Rpc, SlowPeriodRaisesLatency) {
+  Net rig;
+  RpcServer server;
+  server.add_slow_period(util::milliseconds(2), util::milliseconds(4), util::milliseconds(2));
+  rig.b->add_app(&server);
+  RpcClient::Config config;
+  config.server = rig.b->addr();
+  config.interval = util::microseconds(100);
+  config.stop = util::milliseconds(6);
+  config.timeout = util::milliseconds(100);
+  RpcClient client(*rig.a, config, util::Rng(4));
+  rig.a->add_app(&client);
+  client.start();
+  rig.net.simulator().run();
+  client.finish();
+
+  bool saw_slow = false, saw_fast = false;
+  for (const auto& record : client.records()) {
+    if (record.latency < 0) continue;
+    if (server.slow_at(record.sent_at)) {
+      EXPECT_GT(record.latency, util::milliseconds(1));
+      saw_slow = true;
+    } else if (record.sent_at < util::milliseconds(2)) {
+      EXPECT_LT(record.latency, util::milliseconds(1));
+      saw_fast = true;
+    }
+  }
+  EXPECT_TRUE(saw_slow);
+  EXPECT_TRUE(saw_fast);
+}
+
+TEST(Rpc, TimeoutOnBlackhole) {
+  Net rig;
+  // No server app on b: requests arrive but nothing responds.
+  RpcClient::Config config;
+  config.server = rig.b->addr();
+  config.interval = util::microseconds(200);
+  config.stop = util::milliseconds(2);
+  config.timeout = util::milliseconds(5);
+  RpcClient client(*rig.a, config, util::Rng(4));
+  rig.a->add_app(&client);
+  client.start();
+  rig.net.simulator().run();
+  client.finish();
+  ASSERT_FALSE(client.records().empty());
+  for (const auto& record : client.records()) EXPECT_EQ(record.latency, -1);
+}
+
+}  // namespace
+}  // namespace netseer::traffic

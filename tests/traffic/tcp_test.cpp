@@ -1,0 +1,144 @@
+#include "traffic/tcp.h"
+
+#include <gtest/gtest.h>
+
+#include "fabric/network.h"
+
+namespace netseer::traffic {
+namespace {
+
+using packet::Ipv4Addr;
+
+struct Rig {
+  explicit Rig(std::int64_t queue_bytes = 300 * 1024, std::int64_t ecn_bytes = 0,
+               util::BitRate bottleneck = util::BitRate::gbps(1))
+      : net(3) {
+    pdp::SwitchConfig sc;
+    sc.num_ports = 8;
+    sc.port_rate = bottleneck;
+    sc.mmu.queue_capacity_bytes = queue_bytes;
+    sc.mmu.ecn_mark_bytes = ecn_bytes;
+    sw = &net.add_switch("s", sc);
+    a = &net.add_host("a", Ipv4Addr::from_octets(10, 0, 0, 1), util::BitRate::gbps(10));
+    b = &net.add_host("b", Ipv4Addr::from_octets(10, 0, 0, 2), util::BitRate::gbps(10));
+    c = &net.add_host("c", Ipv4Addr::from_octets(10, 0, 0, 3), util::BitRate::gbps(10));
+    net.connect_host(*sw, 0, *a, util::microseconds(2));
+    net.connect_host(*sw, 1, *b, util::microseconds(2));
+    net.connect_host(*sw, 2, *c, util::microseconds(2));
+    net.compute_routes();
+    b->add_app(&receiver);
+  }
+
+  fabric::Network net;
+  pdp::Switch* sw;
+  net::Host* a;
+  net::Host* b;
+  net::Host* c;
+  TcpReceiver receiver;
+};
+
+TEST(Tcp, TransfersAllSegmentsOnCleanPath) {
+  Rig rig;
+  TcpSender sender(*rig.a, rig.b->addr(), 40000, 500);
+  rig.a->add_app(&sender);
+  sender.start();
+  rig.net.simulator().run();
+
+  EXPECT_TRUE(sender.done());
+  EXPECT_EQ(sender.acked(), 500u);
+  EXPECT_EQ(sender.retransmissions(), 0u);
+  EXPECT_EQ(sender.timeouts(), 0u);
+  packet::FlowKey flow{rig.a->addr(), rig.b->addr(), 6, 40000, 8080};
+  EXPECT_EQ(rig.receiver.received_prefix(flow), 500u);
+}
+
+TEST(Tcp, SlowStartGrowsWindow) {
+  Rig rig;
+  TcpSender sender(*rig.a, rig.b->addr(), 40000, 200);
+  rig.a->add_app(&sender);
+  sender.start();
+  rig.net.simulator().run();
+  EXPECT_TRUE(sender.done());
+  EXPECT_GT(sender.cwnd(), TcpConfig{}.initial_cwnd);
+}
+
+TEST(Tcp, RecoversFromLossViaFastRetransmit) {
+  Rig rig;
+  // Lossy downlink to b: the 2nd link created for host b is sw->b.
+  net::LinkFaultModel faults;
+  faults.drop_prob = 0.03;
+  rig.sw->link(1)->set_fault_model(faults);
+
+  TcpSender sender(*rig.a, rig.b->addr(), 40001, 800);
+  rig.a->add_app(&sender);
+  sender.start();
+  rig.net.simulator().run_until(util::seconds(5));
+
+  EXPECT_TRUE(sender.done());
+  EXPECT_GT(sender.retransmissions(), 0u);
+  packet::FlowKey flow{rig.a->addr(), rig.b->addr(), 6, 40001, 8080};
+  EXPECT_EQ(rig.receiver.received_prefix(flow), 800u);
+}
+
+TEST(Tcp, SurvivesTotalBlackholeWindow) {
+  Rig rig;
+  rig.sw->link(1)->set_up(false);
+  rig.net.simulator().schedule_at(util::milliseconds(30), [&] {
+    rig.sw->link(1)->set_up(true);
+  });
+  TcpSender sender(*rig.a, rig.b->addr(), 40002, 50);
+  rig.a->add_app(&sender);
+  sender.start();
+  rig.net.simulator().run_until(util::seconds(5));
+  EXPECT_TRUE(sender.done());
+  EXPECT_GT(sender.timeouts(), 0u);
+}
+
+TEST(Tcp, CongestionCollapsesWindowUnderContention) {
+  Rig rig(/*queue_bytes=*/20000);
+  TcpSender s1(*rig.a, rig.b->addr(), 40003, 3000);
+  TcpSender s2(*rig.c, rig.b->addr(), 40004, 3000);
+  rig.a->add_app(&s1);
+  rig.c->add_app(&s2);
+  s1.start();
+  s2.start();
+  rig.net.simulator().run_until(util::seconds(10));
+
+  EXPECT_TRUE(s1.done());
+  EXPECT_TRUE(s2.done());
+  // Two 10G senders into a 1G port with a 20 KB queue: loss happened and
+  // both backed off at least once.
+  EXPECT_GT(s1.retransmissions() + s2.retransmissions(), 0u);
+  EXPECT_GT(rig.sw->drops(pdp::DropReason::kCongestion), 0u);
+}
+
+TEST(Tcp, EcnMarkingAvoidsDrops) {
+  // With a DCTCP-style marking threshold well under the queue limit, the
+  // sender backs off on ECE before the queue ever overflows.
+  Rig marked(/*queue_bytes=*/300 * 1024, /*ecn_bytes=*/15000);
+  TcpSender sender(*marked.a, marked.b->addr(), 40005, 2000);
+  marked.a->add_app(&sender);
+  sender.start();
+  marked.net.simulator().run_until(util::seconds(10));
+
+  EXPECT_TRUE(sender.done());
+  EXPECT_GT(sender.ecn_backoffs(), 0u);
+  EXPECT_EQ(marked.sw->drops(pdp::DropReason::kCongestion), 0u);
+  EXPECT_EQ(sender.retransmissions(), 0u);
+}
+
+TEST(Tcp, SendersAreIndependentPerPort) {
+  Rig rig;
+  TcpSender s1(*rig.a, rig.b->addr(), 41000, 100);
+  TcpSender s2(*rig.a, rig.b->addr(), 41001, 100);
+  rig.a->add_app(&s1);
+  rig.a->add_app(&s2);
+  s1.start();
+  s2.start();
+  rig.net.simulator().run();
+  EXPECT_TRUE(s1.done());
+  EXPECT_TRUE(s2.done());
+}
+
+}  // namespace
+}  // namespace netseer::traffic

@@ -1,0 +1,117 @@
+#include "traffic/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fabric/network.h"
+#include "traffic/generator.h"
+
+namespace netseer::traffic {
+namespace {
+
+using packet::Ipv4Addr;
+
+TEST(Trace, ParsesWellFormedCsv) {
+  std::stringstream in(
+      "start_us,src,dst,bytes,sport,dport\n"
+      "# a comment\n"
+      "0,10.0.0.1,10.0.1.1,14600,10001,80\n"
+      "250,10.0.0.2,10.0.1.1,500\n"
+      "\n"
+      "1000,10.0.0.1,10.0.0.2,2000,40000,443\n");
+  std::vector<TraceRecord> records;
+  ASSERT_TRUE(parse_trace(in, records));
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].start, 0);
+  EXPECT_EQ(records[0].bytes, 14600u);
+  EXPECT_EQ(records[0].sport, 10001);
+  EXPECT_EQ(records[1].start, util::microseconds(250));
+  EXPECT_EQ(records[1].sport, 0);   // defaulted
+  EXPECT_EQ(records[1].dport, 80);  // defaulted
+  EXPECT_EQ(records[2].dport, 443);
+}
+
+TEST(Trace, MalformedLinesReportedButSkipped) {
+  std::stringstream in(
+      "0,10.0.0.1,10.0.1.1,1000\n"
+      "garbage line\n"
+      "5,not-an-ip,10.0.1.1,1000\n"
+      "10,10.0.0.1,10.0.1.1,1000\n");
+  std::vector<TraceRecord> records;
+  EXPECT_FALSE(parse_trace(in, records));
+  EXPECT_EQ(records.size(), 2u);  // the two good lines survive
+}
+
+TEST(Trace, WriteParseRoundTrip) {
+  std::vector<TraceRecord> records;
+  records.push_back(TraceRecord{util::microseconds(42), Ipv4Addr::from_octets(10, 0, 0, 1),
+                                Ipv4Addr::from_octets(10, 0, 1, 1), 12345, 1111, 80});
+  records.push_back(TraceRecord{util::microseconds(99), Ipv4Addr::from_octets(10, 0, 0, 2),
+                                Ipv4Addr::from_octets(10, 0, 1, 2), 67, 2222, 443});
+  std::stringstream buffer;
+  write_trace(buffer, records);
+  std::vector<TraceRecord> loaded;
+  ASSERT_TRUE(parse_trace(buffer, loaded));
+  ASSERT_EQ(loaded.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(loaded[i].start, records[i].start);
+    EXPECT_EQ(loaded[i].src, records[i].src);
+    EXPECT_EQ(loaded[i].dst, records[i].dst);
+    EXPECT_EQ(loaded[i].bytes, records[i].bytes);
+    EXPECT_EQ(loaded[i].sport, records[i].sport);
+    EXPECT_EQ(loaded[i].dport, records[i].dport);
+  }
+}
+
+TEST(Trace, ReplayDeliversEveryByte) {
+  fabric::Network net(3);
+  pdp::SwitchConfig sc;
+  sc.num_ports = 4;
+  auto& sw = net.add_switch("s", sc);
+  auto& a = net.add_host("a", Ipv4Addr::from_octets(10, 0, 0, 1), util::BitRate::gbps(10));
+  auto& b = net.add_host("b", Ipv4Addr::from_octets(10, 0, 0, 2), util::BitRate::gbps(10));
+  net.connect_host(sw, 0, a, util::microseconds(1));
+  net.connect_host(sw, 1, b, util::microseconds(1));
+  net.compute_routes();
+  CountingReceiver receiver;
+  b.add_app(&receiver);
+
+  std::vector<TraceRecord> records;
+  records.push_back(TraceRecord{0, a.addr(), b.addr(), 5000, 1111, 80});
+  records.push_back(
+      TraceRecord{util::microseconds(100), a.addr(), b.addr(), 700, 2222, 80});
+  // Unknown source: skipped.
+  records.push_back(TraceRecord{0, Ipv4Addr::from_octets(1, 1, 1, 1), b.addr(), 100, 1, 1});
+
+  TraceReplayer replayer({&a, &b});
+  EXPECT_EQ(replayer.replay(records), 2u);
+  EXPECT_EQ(replayer.skipped_unknown_sources(), 1u);
+  net.simulator().run();
+  // 5000 -> 5 packets, 700 -> 1 packet.
+  EXPECT_EQ(receiver.packets(), 6u);
+}
+
+TEST(Trace, ReplayHonorsStartTimes) {
+  fabric::Network net(3);
+  pdp::SwitchConfig sc;
+  sc.num_ports = 4;
+  auto& sw = net.add_switch("s", sc);
+  auto& a = net.add_host("a", Ipv4Addr::from_octets(10, 0, 0, 1), util::BitRate::gbps(10));
+  auto& b = net.add_host("b", Ipv4Addr::from_octets(10, 0, 0, 2), util::BitRate::gbps(10));
+  net.connect_host(sw, 0, a, util::microseconds(1));
+  net.connect_host(sw, 1, b, util::microseconds(1));
+  net.compute_routes();
+  CountingReceiver receiver;
+  b.add_app(&receiver);
+
+  TraceReplayer replayer({&a});
+  replayer.replay({TraceRecord{util::milliseconds(5), a.addr(), b.addr(), 100, 1, 2}});
+  net.simulator().run_until(util::milliseconds(4));
+  EXPECT_EQ(receiver.packets(), 0u);
+  net.simulator().run();
+  EXPECT_EQ(receiver.packets(), 1u);
+}
+
+}  // namespace
+}  // namespace netseer::traffic

@@ -1,0 +1,74 @@
+#include "util/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+namespace netseer::util {
+namespace {
+
+std::vector<std::byte> bytes_of(std::string_view s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+TEST(Fnv1a64, EmptyIsOffsetBasis) {
+  EXPECT_EQ(fnv1a64({}), 0xcbf29ce484222325ULL);
+}
+
+TEST(Fnv1a64, KnownVectors) {
+  // Reference values for FNV-1a 64.
+  EXPECT_EQ(fnv1a64(bytes_of("a")), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64(bytes_of("foobar")), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a64, DifferentInputsDiffer) {
+  EXPECT_NE(fnv1a64(bytes_of("flow-a")), fnv1a64(bytes_of("flow-b")));
+}
+
+TEST(Crc32, KnownVector) {
+  // CRC-32/ISO-HDLC of "123456789" is 0xCBF43926.
+  EXPECT_EQ(crc32(bytes_of("123456789")), 0xcbf43926U);
+}
+
+TEST(Crc32, EmptyIsZero) {
+  EXPECT_EQ(crc32({}), 0U);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const auto data = bytes_of("the quick brown fox jumps over the lazy dog");
+  const auto full = crc32(data);
+  std::uint32_t running = 0;
+  running = crc32_update(running, std::span(data).first(10));
+  running = crc32_update(running, std::span(data).subspan(10));
+  EXPECT_EQ(running, full);
+}
+
+TEST(Crc32, SingleBitFlipChangesValue) {
+  auto data = bytes_of("payload payload payload");
+  const auto before = crc32(data);
+  data[5] ^= std::byte{0x01};
+  EXPECT_NE(crc32(data), before);
+}
+
+TEST(Mix64, ZeroDoesNotMapToZero) {
+  EXPECT_NE(mix64(0), 0u);
+}
+
+TEST(Mix64, InjectiveOnSmallRange) {
+  // mix64 is a bijection; sanity-check no collisions on a small range.
+  std::vector<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.push_back(mix64(i));
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+}  // namespace
+}  // namespace netseer::util

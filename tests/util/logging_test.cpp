@@ -1,0 +1,47 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace netseer::util {
+namespace {
+
+TEST(Logging, DefaultLevelIsWarn) {
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+}
+
+TEST(Logging, SetAndRestoreLevel) {
+  const auto previous = log_level();
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+  set_log_level(previous);
+}
+
+TEST(Logging, BelowThresholdMessagesAreCheap) {
+  const auto previous = log_level();
+  set_log_level(LogLevel::kOff);
+  // Must not crash or format when suppressed (format args still valid).
+  for (int i = 0; i < 1000; ++i) {
+    NETSEER_LOG_DEBUG("dropped %d at %s", i, "sw1");
+    NETSEER_LOG_ERROR("also suppressed at kOff: %d", i);
+  }
+  set_log_level(previous);
+}
+
+TEST(Logging, LevelsAreOrdered) {
+  EXPECT_LT(LogLevel::kDebug, LogLevel::kInfo);
+  EXPECT_LT(LogLevel::kInfo, LogLevel::kWarn);
+  EXPECT_LT(LogLevel::kWarn, LogLevel::kError);
+  EXPECT_LT(LogLevel::kError, LogLevel::kOff);
+}
+
+TEST(Logging, PlainMessageWithoutArgs) {
+  const auto previous = log_level();
+  set_log_level(LogLevel::kOff);
+  NETSEER_LOG_WARN("plain message, no format args");
+  set_log_level(previous);
+}
+
+}  // namespace
+}  // namespace netseer::util

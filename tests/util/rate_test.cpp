@@ -1,0 +1,86 @@
+#include "util/rate.h"
+
+#include <gtest/gtest.h>
+
+namespace netseer::util {
+namespace {
+
+TEST(BitRate, SerializationDelayBasics) {
+  // 1 Gbps: 1 byte = 8 ns.
+  EXPECT_EQ(BitRate::gbps(1).serialization_delay(1), 8);
+  EXPECT_EQ(BitRate::gbps(1).serialization_delay(1500), 12000);
+  // 100 Gbps: 100 bytes = 8 ns.
+  EXPECT_EQ(BitRate::gbps(100).serialization_delay(100), 8);
+}
+
+TEST(BitRate, SerializationDelayRoundsUp) {
+  // 3 bytes at 100 Gbps = 0.24 ns -> rounds up to 1 ns, never 0.
+  EXPECT_EQ(BitRate::gbps(100).serialization_delay(3), 1);
+}
+
+TEST(BitRate, ZeroRateMeansInstant) {
+  EXPECT_EQ(BitRate{}.serialization_delay(1'000'000), 0);
+}
+
+TEST(BitRate, ZeroBytesIsFree) {
+  EXPECT_EQ(BitRate::gbps(10).serialization_delay(0), 0);
+}
+
+TEST(BitRate, BytesIn) {
+  // 1 Gbps for 1 us = 125 bytes.
+  EXPECT_EQ(BitRate::gbps(1).bytes_in(microseconds(1)), 125);
+  EXPECT_EQ(BitRate::gbps(100).bytes_in(seconds(1)), 12'500'000'000LL);
+}
+
+TEST(BitRate, Comparisons) {
+  EXPECT_LT(BitRate::mbps(100), BitRate::gbps(1));
+  EXPECT_EQ(BitRate::kbps(1000), BitRate::mbps(1));
+}
+
+TEST(TokenBucket, AdmitsUpToBurst) {
+  TokenBucket bucket(BitRate::gbps(1), 1000);
+  EXPECT_TRUE(bucket.try_consume(0, 600));
+  EXPECT_TRUE(bucket.try_consume(0, 400));
+  EXPECT_FALSE(bucket.try_consume(0, 1));
+}
+
+TEST(TokenBucket, RefillsOverTime) {
+  TokenBucket bucket(BitRate::gbps(1), 1000);
+  ASSERT_TRUE(bucket.try_consume(0, 1000));
+  EXPECT_FALSE(bucket.try_consume(0, 100));
+  // 1 Gbps refills 125 bytes/us.
+  EXPECT_TRUE(bucket.try_consume(microseconds(1), 100));
+}
+
+TEST(TokenBucket, BurstCapsAccumulation) {
+  TokenBucket bucket(BitRate::gbps(1), 500);
+  // A long idle period must not accumulate more than the burst.
+  EXPECT_TRUE(bucket.try_consume(seconds(10), 500));
+  EXPECT_FALSE(bucket.try_consume(seconds(10), 1));
+}
+
+TEST(TokenBucket, TimeAvailableNowWhenCreditExists) {
+  TokenBucket bucket(BitRate::gbps(1), 1000);
+  EXPECT_EQ(bucket.time_available(5, 1000), 5);
+}
+
+TEST(TokenBucket, TimeAvailablePacesDeficit) {
+  TokenBucket bucket(BitRate::gbps(1), 1000);
+  ASSERT_TRUE(bucket.try_consume(0, 1000));
+  // Needs 125 bytes: 1 us at 1 Gbps.
+  EXPECT_EQ(bucket.time_available(0, 125), microseconds(1));
+}
+
+TEST(TokenBucket, MonotoneAcrossCalls) {
+  TokenBucket bucket(BitRate::mbps(100), 10'000);
+  SimTime t = 0;
+  for (int i = 0; i < 50; ++i) {
+    t = bucket.time_available(t, 1500);
+    EXPECT_TRUE(bucket.try_consume(t, 1500));
+  }
+  // 50 * 1500 B at 100 Mb/s ~ 6 ms minus the initial 10 KB burst.
+  EXPECT_GT(t, milliseconds(5));
+}
+
+}  // namespace
+}  // namespace netseer::util

@@ -1,0 +1,31 @@
+#include "util/time.h"
+
+#include <gtest/gtest.h>
+
+namespace netseer::util {
+namespace {
+
+TEST(Time, UnitConversions) {
+  EXPECT_EQ(microseconds(1), 1000);
+  EXPECT_EQ(milliseconds(1), 1'000'000);
+  EXPECT_EQ(seconds(1), 1'000'000'000);
+  EXPECT_EQ(seconds(2) + milliseconds(500), 2'500'000'000LL);
+}
+
+TEST(Time, ToFloatingPoint) {
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_microseconds(microseconds(7)), 7.0);
+  EXPECT_DOUBLE_EQ(to_milliseconds(milliseconds(9)), 9.0);
+  EXPECT_DOUBLE_EQ(to_seconds(milliseconds(1500)), 1.5);
+}
+
+TEST(Time, FormatDuration) {
+  EXPECT_EQ(format_duration(5), "5ns");
+  EXPECT_EQ(format_duration(microseconds(2)), "2.000us");
+  EXPECT_EQ(format_duration(milliseconds(3)), "3.000ms");
+  EXPECT_EQ(format_duration(seconds(1) + milliseconds(250)), "1.250s");
+  EXPECT_EQ(format_duration(-microseconds(2)), "-2.000us");
+}
+
+}  // namespace
+}  // namespace netseer::util
