@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_notify.dir/bench_ablation_notify.cpp.o"
+  "CMakeFiles/bench_ablation_notify.dir/bench_ablation_notify.cpp.o.d"
+  "bench_ablation_notify"
+  "bench_ablation_notify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_notify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

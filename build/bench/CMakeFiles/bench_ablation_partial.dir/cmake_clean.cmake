@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_partial.dir/bench_ablation_partial.cpp.o"
+  "CMakeFiles/bench_ablation_partial.dir/bench_ablation_partial.cpp.o.d"
+  "bench_ablation_partial"
+  "bench_ablation_partial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_partial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

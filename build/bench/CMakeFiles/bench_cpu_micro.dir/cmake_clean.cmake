@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cpu_micro.dir/bench_cpu_micro.cpp.o"
+  "CMakeFiles/bench_cpu_micro.dir/bench_cpu_micro.cpp.o.d"
+  "bench_cpu_micro"
+  "bench_cpu_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cpu_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

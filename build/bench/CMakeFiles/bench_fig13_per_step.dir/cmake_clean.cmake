@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_per_step.dir/bench_fig13_per_step.cpp.o"
+  "CMakeFiles/bench_fig13_per_step.dir/bench_fig13_per_step.cpp.o.d"
+  "bench_fig13_per_step"
+  "bench_fig13_per_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_per_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

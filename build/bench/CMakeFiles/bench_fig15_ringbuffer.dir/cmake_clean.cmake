@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_ringbuffer.dir/bench_fig15_ringbuffer.cpp.o"
+  "CMakeFiles/bench_fig15_ringbuffer.dir/bench_fig15_ringbuffer.cpp.o.d"
+  "bench_fig15_ringbuffer"
+  "bench_fig15_ringbuffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_ringbuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8a_incidents.dir/bench_fig8a_incidents.cpp.o"
+  "CMakeFiles/bench_fig8a_incidents.dir/bench_fig8a_incidents.cpp.o.d"
+  "bench_fig8a_incidents"
+  "bench_fig8a_incidents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8a_incidents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

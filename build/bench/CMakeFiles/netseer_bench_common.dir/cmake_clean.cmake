@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libnetseer_bench_common.a"
+  "../lib/libnetseer_bench_common.pdb"
+  "CMakeFiles/netseer_bench_common.dir/experiment.cpp.o"
+  "CMakeFiles/netseer_bench_common.dir/experiment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netseer_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libnetseer_bench_common.a"
+)

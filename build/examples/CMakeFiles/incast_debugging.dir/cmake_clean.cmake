@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incast_debugging.dir/incast_debugging.cpp.o"
+  "CMakeFiles/incast_debugging.dir/incast_debugging.cpp.o.d"
+  "incast_debugging"
+  "incast_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incast_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

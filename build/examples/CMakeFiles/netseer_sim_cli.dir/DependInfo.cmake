@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/netseer_sim.cpp" "examples/CMakeFiles/netseer_sim_cli.dir/netseer_sim.cpp.o" "gcc" "examples/CMakeFiles/netseer_sim_cli.dir/netseer_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenarios/CMakeFiles/netseer_scenarios.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/netseer_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/netseer_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/netseer_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/netseer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdp/CMakeFiles/netseer_pdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/netseer_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/netseer_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netseer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/netseer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netseer_sim_cli.dir/netseer_sim.cpp.o"
+  "CMakeFiles/netseer_sim_cli.dir/netseer_sim.cpp.o.d"
+  "netseer_sim"
+  "netseer_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netseer_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfc_pause_storm.dir/pfc_pause_storm.cpp.o"
+  "CMakeFiles/pfc_pause_storm.dir/pfc_pause_storm.cpp.o.d"
+  "pfc_pause_storm"
+  "pfc_pause_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfc_pause_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

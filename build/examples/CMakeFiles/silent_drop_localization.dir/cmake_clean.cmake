@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silent_drop_localization.dir/silent_drop_localization.cpp.o"
+  "CMakeFiles/silent_drop_localization.dir/silent_drop_localization.cpp.o.d"
+  "silent_drop_localization"
+  "silent_drop_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silent_drop_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sla_attribution.dir/sla_attribution.cpp.o"
+  "CMakeFiles/sla_attribution.dir/sla_attribution.cpp.o.d"
+  "sla_attribution"
+  "sla_attribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sla_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

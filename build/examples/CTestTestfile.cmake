@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;11;netseer_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_incast_debugging "/root/repo/build/examples/incast_debugging")
+set_tests_properties(example_incast_debugging PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;12;netseer_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_silent_drop_localization "/root/repo/build/examples/silent_drop_localization")
+set_tests_properties(example_silent_drop_localization PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;13;netseer_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sla_attribution "/root/repo/build/examples/sla_attribution")
+set_tests_properties(example_sla_attribution PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;14;netseer_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pfc_pause_storm "/root/repo/build/examples/pfc_pause_storm")
+set_tests_properties(example_pfc_pause_storm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;15;netseer_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_netseer_sim "/root/repo/build/examples/netseer_sim" "--topology" "testbed" "--workload" "web" "--load" "0.4" "--duration-ms" "6" "--fault" "blackhole" "--seed" "3")
+set_tests_properties(example_netseer_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")

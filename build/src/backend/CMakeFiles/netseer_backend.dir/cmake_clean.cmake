@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netseer_backend.dir/persistence.cpp.o"
+  "CMakeFiles/netseer_backend.dir/persistence.cpp.o.d"
+  "libnetseer_backend.a"
+  "libnetseer_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netseer_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

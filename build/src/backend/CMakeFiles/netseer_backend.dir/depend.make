@@ -1,0 +1,2 @@
+# Empty dependencies file for netseer_backend.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netseer_core.dir/capacity.cpp.o"
+  "CMakeFiles/netseer_core.dir/capacity.cpp.o.d"
+  "CMakeFiles/netseer_core.dir/detect/interswitch.cpp.o"
+  "CMakeFiles/netseer_core.dir/detect/interswitch.cpp.o.d"
+  "CMakeFiles/netseer_core.dir/event.cpp.o"
+  "CMakeFiles/netseer_core.dir/event.cpp.o.d"
+  "CMakeFiles/netseer_core.dir/netseer_app.cpp.o"
+  "CMakeFiles/netseer_core.dir/netseer_app.cpp.o.d"
+  "libnetseer_core.a"
+  "libnetseer_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netseer_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

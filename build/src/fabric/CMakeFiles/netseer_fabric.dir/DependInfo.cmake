@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/fat_tree.cpp" "src/fabric/CMakeFiles/netseer_fabric.dir/fat_tree.cpp.o" "gcc" "src/fabric/CMakeFiles/netseer_fabric.dir/fat_tree.cpp.o.d"
+  "/root/repo/src/fabric/network.cpp" "src/fabric/CMakeFiles/netseer_fabric.dir/network.cpp.o" "gcc" "src/fabric/CMakeFiles/netseer_fabric.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pdp/CMakeFiles/netseer_pdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/netseer_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netseer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/netseer_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/netseer_packet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netseer_fabric.dir/fat_tree.cpp.o"
+  "CMakeFiles/netseer_fabric.dir/fat_tree.cpp.o.d"
+  "CMakeFiles/netseer_fabric.dir/network.cpp.o"
+  "CMakeFiles/netseer_fabric.dir/network.cpp.o.d"
+  "libnetseer_fabric.a"
+  "libnetseer_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netseer_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netseer_net.dir/host.cpp.o"
+  "CMakeFiles/netseer_net.dir/host.cpp.o.d"
+  "CMakeFiles/netseer_net.dir/link.cpp.o"
+  "CMakeFiles/netseer_net.dir/link.cpp.o.d"
+  "CMakeFiles/netseer_net.dir/pcap.cpp.o"
+  "CMakeFiles/netseer_net.dir/pcap.cpp.o.d"
+  "CMakeFiles/netseer_net.dir/tx_port.cpp.o"
+  "CMakeFiles/netseer_net.dir/tx_port.cpp.o.d"
+  "libnetseer_net.a"
+  "libnetseer_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netseer_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/packet/addr.cpp" "src/packet/CMakeFiles/netseer_packet.dir/addr.cpp.o" "gcc" "src/packet/CMakeFiles/netseer_packet.dir/addr.cpp.o.d"
+  "/root/repo/src/packet/builder.cpp" "src/packet/CMakeFiles/netseer_packet.dir/builder.cpp.o" "gcc" "src/packet/CMakeFiles/netseer_packet.dir/builder.cpp.o.d"
+  "/root/repo/src/packet/flow_key.cpp" "src/packet/CMakeFiles/netseer_packet.dir/flow_key.cpp.o" "gcc" "src/packet/CMakeFiles/netseer_packet.dir/flow_key.cpp.o.d"
+  "/root/repo/src/packet/packet.cpp" "src/packet/CMakeFiles/netseer_packet.dir/packet.cpp.o" "gcc" "src/packet/CMakeFiles/netseer_packet.dir/packet.cpp.o.d"
+  "/root/repo/src/packet/wire.cpp" "src/packet/CMakeFiles/netseer_packet.dir/wire.cpp.o" "gcc" "src/packet/CMakeFiles/netseer_packet.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/netseer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

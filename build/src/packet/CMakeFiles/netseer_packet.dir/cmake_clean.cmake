@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netseer_packet.dir/addr.cpp.o"
+  "CMakeFiles/netseer_packet.dir/addr.cpp.o.d"
+  "CMakeFiles/netseer_packet.dir/builder.cpp.o"
+  "CMakeFiles/netseer_packet.dir/builder.cpp.o.d"
+  "CMakeFiles/netseer_packet.dir/flow_key.cpp.o"
+  "CMakeFiles/netseer_packet.dir/flow_key.cpp.o.d"
+  "CMakeFiles/netseer_packet.dir/packet.cpp.o"
+  "CMakeFiles/netseer_packet.dir/packet.cpp.o.d"
+  "CMakeFiles/netseer_packet.dir/wire.cpp.o"
+  "CMakeFiles/netseer_packet.dir/wire.cpp.o.d"
+  "libnetseer_packet.a"
+  "libnetseer_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netseer_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

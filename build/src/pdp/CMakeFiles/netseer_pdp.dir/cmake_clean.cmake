@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netseer_pdp.dir/resources.cpp.o"
+  "CMakeFiles/netseer_pdp.dir/resources.cpp.o.d"
+  "CMakeFiles/netseer_pdp.dir/switch.cpp.o"
+  "CMakeFiles/netseer_pdp.dir/switch.cpp.o.d"
+  "CMakeFiles/netseer_pdp.dir/types.cpp.o"
+  "CMakeFiles/netseer_pdp.dir/types.cpp.o.d"
+  "libnetseer_pdp.a"
+  "libnetseer_pdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netseer_pdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for netseer_pdp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netseer_scenarios.dir/harness.cpp.o"
+  "CMakeFiles/netseer_scenarios.dir/harness.cpp.o.d"
+  "CMakeFiles/netseer_scenarios.dir/incidents.cpp.o"
+  "CMakeFiles/netseer_scenarios.dir/incidents.cpp.o.d"
+  "CMakeFiles/netseer_scenarios.dir/sla.cpp.o"
+  "CMakeFiles/netseer_scenarios.dir/sla.cpp.o.d"
+  "libnetseer_scenarios.a"
+  "libnetseer_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netseer_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

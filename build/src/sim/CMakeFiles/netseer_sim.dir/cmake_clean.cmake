@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netseer_sim.dir/simulator.cpp.o"
+  "CMakeFiles/netseer_sim.dir/simulator.cpp.o.d"
+  "libnetseer_sim.a"
+  "libnetseer_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netseer_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netseer_traffic.dir/distributions.cpp.o"
+  "CMakeFiles/netseer_traffic.dir/distributions.cpp.o.d"
+  "CMakeFiles/netseer_traffic.dir/generator.cpp.o"
+  "CMakeFiles/netseer_traffic.dir/generator.cpp.o.d"
+  "CMakeFiles/netseer_traffic.dir/tcp.cpp.o"
+  "CMakeFiles/netseer_traffic.dir/tcp.cpp.o.d"
+  "CMakeFiles/netseer_traffic.dir/trace.cpp.o"
+  "CMakeFiles/netseer_traffic.dir/trace.cpp.o.d"
+  "libnetseer_traffic.a"
+  "libnetseer_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netseer_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netseer_util.dir/hash.cpp.o"
+  "CMakeFiles/netseer_util.dir/hash.cpp.o.d"
+  "CMakeFiles/netseer_util.dir/logging.cpp.o"
+  "CMakeFiles/netseer_util.dir/logging.cpp.o.d"
+  "CMakeFiles/netseer_util.dir/rng.cpp.o"
+  "CMakeFiles/netseer_util.dir/rng.cpp.o.d"
+  "CMakeFiles/netseer_util.dir/time.cpp.o"
+  "CMakeFiles/netseer_util.dir/time.cpp.o.d"
+  "libnetseer_util.a"
+  "libnetseer_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netseer_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

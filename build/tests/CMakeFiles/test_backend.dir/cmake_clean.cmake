@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backend.dir/backend/event_store_test.cpp.o"
+  "CMakeFiles/test_backend.dir/backend/event_store_test.cpp.o.d"
+  "CMakeFiles/test_backend.dir/backend/persistence_test.cpp.o"
+  "CMakeFiles/test_backend.dir/backend/persistence_test.cpp.o.d"
+  "test_backend"
+  "test_backend.pdb"
+  "test_backend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/batching_test.cpp" "tests/CMakeFiles/test_core.dir/core/batching_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/batching_test.cpp.o.d"
+  "/root/repo/tests/core/capacity_limits_test.cpp" "tests/CMakeFiles/test_core.dir/core/capacity_limits_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/capacity_limits_test.cpp.o.d"
+  "/root/repo/tests/core/capacity_test.cpp" "tests/CMakeFiles/test_core.dir/core/capacity_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/capacity_test.cpp.o.d"
+  "/root/repo/tests/core/cpu_test.cpp" "tests/CMakeFiles/test_core.dir/core/cpu_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/cpu_test.cpp.o.d"
+  "/root/repo/tests/core/event_property_test.cpp" "tests/CMakeFiles/test_core.dir/core/event_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/event_property_test.cpp.o.d"
+  "/root/repo/tests/core/event_test.cpp" "tests/CMakeFiles/test_core.dir/core/event_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/event_test.cpp.o.d"
+  "/root/repo/tests/core/extensions_test.cpp" "tests/CMakeFiles/test_core.dir/core/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/extensions_test.cpp.o.d"
+  "/root/repo/tests/core/group_cache_property_test.cpp" "tests/CMakeFiles/test_core.dir/core/group_cache_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/group_cache_property_test.cpp.o.d"
+  "/root/repo/tests/core/group_cache_test.cpp" "tests/CMakeFiles/test_core.dir/core/group_cache_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/group_cache_test.cpp.o.d"
+  "/root/repo/tests/core/interswitch_property_test.cpp" "tests/CMakeFiles/test_core.dir/core/interswitch_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/interswitch_property_test.cpp.o.d"
+  "/root/repo/tests/core/interswitch_test.cpp" "tests/CMakeFiles/test_core.dir/core/interswitch_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/interswitch_test.cpp.o.d"
+  "/root/repo/tests/core/netseer_app_test.cpp" "tests/CMakeFiles/test_core.dir/core/netseer_app_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/netseer_app_test.cpp.o.d"
+  "/root/repo/tests/core/nic_agent_test.cpp" "tests/CMakeFiles/test_core.dir/core/nic_agent_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/nic_agent_test.cpp.o.d"
+  "/root/repo/tests/core/reliable_property_test.cpp" "tests/CMakeFiles/test_core.dir/core/reliable_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/reliable_property_test.cpp.o.d"
+  "/root/repo/tests/core/reliable_test.cpp" "tests/CMakeFiles/test_core.dir/core/reliable_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/reliable_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/netseer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/netseer_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/netseer_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/netseer_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdp/CMakeFiles/netseer_pdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/netseer_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netseer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/netseer_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/netseer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_monitors.dir/monitors/monitors_test.cpp.o"
+  "CMakeFiles/test_monitors.dir/monitors/monitors_test.cpp.o.d"
+  "CMakeFiles/test_monitors.dir/monitors/pcap_test.cpp.o"
+  "CMakeFiles/test_monitors.dir/monitors/pcap_test.cpp.o.d"
+  "CMakeFiles/test_monitors.dir/monitors/units_test.cpp.o"
+  "CMakeFiles/test_monitors.dir/monitors/units_test.cpp.o.d"
+  "test_monitors"
+  "test_monitors.pdb"
+  "test_monitors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_monitors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

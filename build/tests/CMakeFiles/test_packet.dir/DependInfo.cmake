@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/packet/addr_test.cpp" "tests/CMakeFiles/test_packet.dir/packet/addr_test.cpp.o" "gcc" "tests/CMakeFiles/test_packet.dir/packet/addr_test.cpp.o.d"
+  "/root/repo/tests/packet/flow_key_test.cpp" "tests/CMakeFiles/test_packet.dir/packet/flow_key_test.cpp.o" "gcc" "tests/CMakeFiles/test_packet.dir/packet/flow_key_test.cpp.o.d"
+  "/root/repo/tests/packet/packet_test.cpp" "tests/CMakeFiles/test_packet.dir/packet/packet_test.cpp.o" "gcc" "tests/CMakeFiles/test_packet.dir/packet/packet_test.cpp.o.d"
+  "/root/repo/tests/packet/wire_property_test.cpp" "tests/CMakeFiles/test_packet.dir/packet/wire_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_packet.dir/packet/wire_property_test.cpp.o.d"
+  "/root/repo/tests/packet/wire_test.cpp" "tests/CMakeFiles/test_packet.dir/packet/wire_test.cpp.o" "gcc" "tests/CMakeFiles/test_packet.dir/packet/wire_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/packet/CMakeFiles/netseer_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/netseer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

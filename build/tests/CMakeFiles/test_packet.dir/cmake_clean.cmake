@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packet.dir/packet/addr_test.cpp.o"
+  "CMakeFiles/test_packet.dir/packet/addr_test.cpp.o.d"
+  "CMakeFiles/test_packet.dir/packet/flow_key_test.cpp.o"
+  "CMakeFiles/test_packet.dir/packet/flow_key_test.cpp.o.d"
+  "CMakeFiles/test_packet.dir/packet/packet_test.cpp.o"
+  "CMakeFiles/test_packet.dir/packet/packet_test.cpp.o.d"
+  "CMakeFiles/test_packet.dir/packet/wire_property_test.cpp.o"
+  "CMakeFiles/test_packet.dir/packet/wire_property_test.cpp.o.d"
+  "CMakeFiles/test_packet.dir/packet/wire_test.cpp.o"
+  "CMakeFiles/test_packet.dir/packet/wire_test.cpp.o.d"
+  "test_packet"
+  "test_packet.pdb"
+  "test_packet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pdp/acl_test.cpp" "tests/CMakeFiles/test_pdp.dir/pdp/acl_test.cpp.o" "gcc" "tests/CMakeFiles/test_pdp.dir/pdp/acl_test.cpp.o.d"
+  "/root/repo/tests/pdp/lpm_property_test.cpp" "tests/CMakeFiles/test_pdp.dir/pdp/lpm_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_pdp.dir/pdp/lpm_property_test.cpp.o.d"
+  "/root/repo/tests/pdp/mmu_test.cpp" "tests/CMakeFiles/test_pdp.dir/pdp/mmu_test.cpp.o" "gcc" "tests/CMakeFiles/test_pdp.dir/pdp/mmu_test.cpp.o.d"
+  "/root/repo/tests/pdp/resources_test.cpp" "tests/CMakeFiles/test_pdp.dir/pdp/resources_test.cpp.o" "gcc" "tests/CMakeFiles/test_pdp.dir/pdp/resources_test.cpp.o.d"
+  "/root/repo/tests/pdp/switch_test.cpp" "tests/CMakeFiles/test_pdp.dir/pdp/switch_test.cpp.o" "gcc" "tests/CMakeFiles/test_pdp.dir/pdp/switch_test.cpp.o.d"
+  "/root/repo/tests/pdp/table_test.cpp" "tests/CMakeFiles/test_pdp.dir/pdp/table_test.cpp.o" "gcc" "tests/CMakeFiles/test_pdp.dir/pdp/table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pdp/CMakeFiles/netseer_pdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/netseer_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/netseer_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netseer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/netseer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

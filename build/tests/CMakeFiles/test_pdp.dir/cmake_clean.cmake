@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pdp.dir/pdp/acl_test.cpp.o"
+  "CMakeFiles/test_pdp.dir/pdp/acl_test.cpp.o.d"
+  "CMakeFiles/test_pdp.dir/pdp/lpm_property_test.cpp.o"
+  "CMakeFiles/test_pdp.dir/pdp/lpm_property_test.cpp.o.d"
+  "CMakeFiles/test_pdp.dir/pdp/mmu_test.cpp.o"
+  "CMakeFiles/test_pdp.dir/pdp/mmu_test.cpp.o.d"
+  "CMakeFiles/test_pdp.dir/pdp/resources_test.cpp.o"
+  "CMakeFiles/test_pdp.dir/pdp/resources_test.cpp.o.d"
+  "CMakeFiles/test_pdp.dir/pdp/switch_test.cpp.o"
+  "CMakeFiles/test_pdp.dir/pdp/switch_test.cpp.o.d"
+  "CMakeFiles/test_pdp.dir/pdp/table_test.cpp.o"
+  "CMakeFiles/test_pdp.dir/pdp/table_test.cpp.o.d"
+  "test_pdp"
+  "test_pdp.pdb"
+  "test_pdp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traffic.dir/traffic/distributions_test.cpp.o"
+  "CMakeFiles/test_traffic.dir/traffic/distributions_test.cpp.o.d"
+  "CMakeFiles/test_traffic.dir/traffic/generator_test.cpp.o"
+  "CMakeFiles/test_traffic.dir/traffic/generator_test.cpp.o.d"
+  "CMakeFiles/test_traffic.dir/traffic/tcp_test.cpp.o"
+  "CMakeFiles/test_traffic.dir/traffic/tcp_test.cpp.o.d"
+  "CMakeFiles/test_traffic.dir/traffic/trace_test.cpp.o"
+  "CMakeFiles/test_traffic.dir/traffic/trace_test.cpp.o.d"
+  "test_traffic"
+  "test_traffic.pdb"
+  "test_traffic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
