@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "core/group_cache.h"
+#include "metrics_cli.h"
 #include "table.h"
 #include "util/hash.h"
 #include "util/rng.h"
@@ -56,7 +57,18 @@ class BloomDedup {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  MetricsCli metrics(argc, argv);
+  // Bare-GroupCache microbench: fold each cache's counters straight into
+  // the registry (there is no switch/app to collect from).
+  const auto note_cache = [&metrics](const core::GroupCache& cache) {
+    if (!metrics.enabled()) return;
+    auto& reg = metrics.registry();
+    reg.counter("core", "group_cache.hits").add(cache.hits());
+    reg.counter("core", "group_cache.misses").add(cache.misses());
+    reg.counter("core", "group_cache.offered").add(cache.offered());
+    reg.counter("core", "group_cache.reports").add(cache.reports());
+  };
   print_title("Ablation — deduplication design (§3.4)");
 
   // ---- (1) group cache vs Bloom filter: false negatives ------------------
@@ -89,6 +101,7 @@ int main() {
       // Which flows never got any report?
       std::size_t cache_missed = 0;
       for (const auto& flow : flows) cache_missed += !cache_reported.contains(flow.hash64());
+      note_cache(cache);
       bloom_missed = static_cast<std::size_t>(kFlows) - bloom_reports;
       char name[64];
       std::snprintf(name, sizeof(name), "group cache %zu entries", entries);
@@ -123,6 +136,7 @@ int main() {
       }
       std::printf("  %-8u %16zu %22llu\n", c, reports,
                   static_cast<unsigned long long>(max_gap));
+      note_cache(cache);
     }
   }
 
@@ -144,8 +158,9 @@ int main() {
         }
       }
       std::printf("  %-10zu %14zu %18zu\n", entries, reports, reports - flows.size());
+      note_cache(cache);
     }
     print_note("duplicates fall steeply once the table comfortably holds the working set");
   }
-  return 0;
+  return metrics.write();
 }

@@ -7,8 +7,10 @@
 #include "core/netseer_app.h"
 #include "core/nic_agent.h"
 #include "fabric/network.h"
+#include "metrics_cli.h"
 #include "packet/builder.h"
 #include "table.h"
+#include "telemetry/collect.h"
 
 using namespace netseer;
 using namespace netseer::bench;
@@ -20,7 +22,8 @@ struct Outcome {
   std::uint64_t recovered;
 };
 
-Outcome run(int copies, double loss_both_ways, std::uint64_t seed) {
+Outcome run(int copies, double loss_both_ways, std::uint64_t seed,
+            telemetry::Registry* metrics) {
   fabric::Network net(seed);
   pdp::SwitchConfig sc;
   sc.num_ports = 4;
@@ -75,12 +78,20 @@ Outcome run(int copies, double loss_both_ways, std::uint64_t seed) {
       outcome.recovered += stored.event.counter;
     }
   }
+  if (metrics != nullptr) {
+    telemetry::collect(*metrics, app1);
+    telemetry::collect(*metrics, app2);
+    telemetry::collect(*metrics, collector);
+    telemetry::collect(*metrics, store);
+    telemetry::collect(*metrics, net.simulator(), 0.0);
+  }
   return outcome;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  MetricsCli metrics(argc, argv);
   print_title("Ablation — loss-notification redundancy (x1/x2/x3 copies)");
   print_paper("three redundant copies 'to protect their arrival at the upstream switch'");
 
@@ -90,7 +101,7 @@ int main() {
     for (const int copies : {1, 2, 3}) {
       double recovered_sum = 0, dropped_sum = 0;
       for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-        const auto outcome = run(copies, loss, seed);
+        const auto outcome = run(copies, loss, seed, metrics.sink());
         recovered_sum += static_cast<double>(outcome.recovered);
         dropped_sum += static_cast<double>(outcome.dropped);
       }
@@ -100,5 +111,5 @@ int main() {
   }
   print_note("cells: dropped packets whose flow was recovered at the upstream switch.");
   print_note("Notifications cross the lossy link too; redundancy keeps recovery high.");
-  return 0;
+  return metrics.write();
 }

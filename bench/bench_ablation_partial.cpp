@@ -4,6 +4,7 @@
 // monitored fraction of the address space and measure report overhead
 // and coverage of monitored vs unmonitored flows.
 #include "core/netseer_app.h"
+#include "metrics_cli.h"
 #include "scenarios/harness.h"
 #include "table.h"
 #include "traffic/generator.h"
@@ -20,7 +21,7 @@ struct Outcome {
   std::uint64_t filtered;
 };
 
-Outcome run(int monitored_tors) {
+Outcome run(int monitored_tors, telemetry::Registry* metrics) {
   scenarios::HarnessOptions options;
   options.seed = 17;
   options.topo.host_rate = util::BitRate::gbps(5);
@@ -94,19 +95,21 @@ Outcome run(int monitored_tors) {
     filtered += harness.app(i).filtered_events();
   }
   outcome.filtered = filtered;
+  if (metrics != nullptr) harness.collect_metrics(*metrics);
   return outcome;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  MetricsCli metrics(argc, argv);
   print_title("Ablation — partial deployment (§2.3)");
   print_paper("monitoring only specific applications' flows still gives them full coverage");
 
   std::printf("\n  %-16s %10s %12s %14s %12s\n", "monitored ToRs", "overhead",
               "cov(monitored)", "cov(other)", "filtered ev");
   for (int tors : {4, 2, 1}) {
-    const auto outcome = run(tors);
+    const auto outcome = run(tors, metrics.sink());
     std::printf("  %-16d %10s %12s %14s %12llu\n", tors, pct(outcome.overhead).c_str(),
                 pct(outcome.monitored_coverage).c_str(),
                 outcome.unmonitored_coverage < 0 ? "n/a"
@@ -115,5 +118,5 @@ int main() {
   }
   print_note("coverage of in-scope flows stays full while report overhead and event");
   print_note("volume shrink with the monitored fraction; out-of-scope events are filtered.");
-  return 0;
+  return metrics.write();
 }

@@ -7,6 +7,8 @@
 //  - inter-switch TX tagging+recording, the per-packet egress cost.
 #include <benchmark/benchmark.h>
 
+#include "metrics_cli.h"
+
 #include "core/detect/interswitch.h"
 #include "core/event.h"
 #include "core/group_cache.h"
@@ -127,4 +129,15 @@ BENCHMARK(BM_FlowKeyHash);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, with --metrics-out stripped before google-benchmark
+// parses the remaining flags. The registry stays empty here (benchmark
+// reports its own timings); the flag still produces a valid snapshot so
+// every bench binary honours the same interface.
+int main(int argc, char** argv) {
+  netseer::bench::MetricsCli metrics(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return metrics.write();
+}

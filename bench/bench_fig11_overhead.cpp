@@ -3,19 +3,23 @@
 // <0.01%; NetSight ~18%; EverFlow and 1:1000 sampling comparable to
 // NetSeer's order of magnitude; 1:10 sampling heavy.
 #include "experiment.h"
+#include "metrics_cli.h"
 #include "table.h"
 
 using namespace netseer;
 using namespace netseer::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  MetricsCli metrics(argc, argv);
   print_title("Figure 11 — overall bandwidth overhead (monitoring bytes / traffic bytes)");
   print_paper("NetSeer <0.01%; NetSight ~18%; sampling scales with rate");
 
+  ExperimentConfig config;
+  config.metrics = metrics.sink();
   std::printf("\n  %-8s %10s %10s %10s %10s %10s %10s %10s %10s\n", "workload", "NetSeer",
               "NetSight", "EverFlow", "1:10", "1:100", "1:1000", "Pingmesh", "SNMP");
   for (const auto* workload : traffic::all_workloads()) {
-    const auto result = run_workload_experiment(*workload);
+    const auto result = run_workload_experiment(*workload, config);
     std::printf("  %-8s %10s %10s %10s %10s %10s %10s %10s %10s\n", result.workload.c_str(),
                 pct(result.netseer_overhead).c_str(), pct(result.netsight_overhead).c_str(),
                 pct(result.everflow_overhead).c_str(), pct(result.sample10_overhead).c_str(),
@@ -24,5 +28,5 @@ int main() {
                 pct(result.pingmesh_overhead).c_str(), pct(result.snmp_overhead).c_str());
   }
   print_note("NetSeer column counts the batched event reports leaving the switch CPU.");
-  return 0;
+  return metrics.write();
 }

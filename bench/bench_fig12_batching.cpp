@@ -5,6 +5,7 @@
 #include "core/capacity.h"
 #include "core/cebp.h"
 #include "core/event_stack.h"
+#include "metrics_cli.h"
 #include "table.h"
 
 using namespace netseer;
@@ -13,7 +14,7 @@ using namespace netseer::bench;
 namespace {
 
 /// Drive the real CebpBatcher at saturation and measure delivered eps.
-double simulated_eps(int batch_size) {
+double simulated_eps(int batch_size, telemetry::Registry* metrics) {
   sim::Simulator sim;
   core::EventStack stack(1 << 20);
   core::CebpConfig config;
@@ -37,12 +38,19 @@ double simulated_eps(int batch_size) {
     });
   }
   sim.run_until(horizon);
-  return static_cast<double>(delivered) / util::to_seconds(horizon);
+  const double eps = static_cast<double>(delivered) / util::to_seconds(horizon);
+  if (metrics != nullptr) {
+    metrics->counter("core", "cebp.recirculations").add(batcher.recirculations());
+    metrics->counter("core", "cebp.events_batched").add(delivered);
+    metrics->histogram("bench", "fig12.cebp_sim_meps").record(eps / 1e6);
+  }
+  return eps;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  MetricsCli metrics(argc, argv);
   print_title("Figure 12 — event batching capacity vs batch size");
   print_paper("~86 Meps / 17.7 Gb/s around batch size 50-70");
 
@@ -52,11 +60,11 @@ int main() {
   for (int batch : {1, 5, 10, 20, 30, 40, 50, 60, 70}) {
     const double model_eps = core::capacity::cebp_throughput_eps(config, batch);
     const double model_gbps = core::capacity::cebp_throughput_gbps(config, batch);
-    const double sim_eps = simulated_eps(batch);
+    const double sim_eps = simulated_eps(batch, metrics.sink());
     std::printf("  %-10d %12.1f %12.2f %14.1f\n", batch, model_eps / 1e6, model_gbps,
                 sim_eps / 1e6);
   }
   print_note("model: num_cebps * batch / (batch*recirc + flush); simulated: the actual");
   print_note("CebpBatcher run to saturation in virtual time.");
-  return 0;
+  return metrics.write();
 }

@@ -3,19 +3,23 @@
 // volume: selection >90%, deduplication ~95%, extraction ~98%, with the
 // final report volume <0.01% of traffic.
 #include "experiment.h"
+#include "metrics_cli.h"
 #include "table.h"
 
 using namespace netseer;
 using namespace netseer::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  MetricsCli metrics(argc, argv);
   print_title("Figure 13 — per-step bandwidth overhead reduction");
   print_paper("event packets <10%; dedup -95%; extraction -98%; total <0.01%");
 
+  ExperimentConfig config;
+  config.metrics = metrics.sink();
   std::printf("\n  %-8s %12s %12s %12s %12s %12s\n", "workload", "event-pkt%", "dedup-cut",
               "extract-cut", "fp-cut", "overall");
   for (const auto* workload : traffic::all_workloads()) {
-    const auto result = run_workload_experiment(*workload);
+    const auto result = run_workload_experiment(*workload, config);
     const auto& funnel = result.funnel;
 
     // Step volumes in bytes, as if each stage's output were shipped raw.
@@ -45,5 +49,5 @@ int main() {
   }
   print_note("step volumes: selected event packets -> deduped flow events ->");
   print_note("24B extracted records -> CPU-filtered batched reports.");
-  return 0;
+  return metrics.write();
 }

@@ -7,6 +7,7 @@
 // and inter-switch detection.
 #include "core/capacity.h"
 #include "core/netseer_app.h"
+#include "metrics_cli.h"
 #include "pdp/resources.h"
 #include "table.h"
 
@@ -14,7 +15,8 @@ using namespace netseer;
 using namespace netseer::bench;
 using pdp::Resource;
 
-int main() {
+int main(int argc, char** argv) {
+  MetricsCli metrics(argc, argv);
   print_title("Figure 7 — PDP resource usage (modeled from configuration)");
   print_paper("all resources <20% except stateful ALU ~40%; batcher+inter-switch ~28% sALU");
 
@@ -80,9 +82,18 @@ int main() {
     const double netseer_only =
         model.total(resource) - model.component_usage(base, resource);
     std::printf("    %-14s %5.1f%%\n", pdp::to_string(resource), 100 * netseer_only);
+    if (metrics.enabled()) {
+      // Modeled chip fractions in percent; gauges since this is a level,
+      // not an accumulating count.
+      const std::string name = std::string("resources.") + pdp::to_string(resource);
+      metrics.registry().gauge("pdp", name + ".total_pct")
+          .set(static_cast<std::int64_t>(100 * model.total(resource)));
+      metrics.registry().gauge("pdp", name + ".netseer_pct")
+          .set(static_cast<std::int64_t>(100 * netseer_only));
+    }
   }
   std::printf("  NetSeer stateful-ALU: batcher+inter-switch contribute %.0f%% of the chip\n",
               100 * (model.component_usage(interswitch, Resource::kStatefulAlu) +
                      model.component_usage(batching, Resource::kStatefulAlu)));
-  return 0;
+  return metrics.write();
 }

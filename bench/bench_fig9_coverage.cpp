@@ -2,7 +2,11 @@
 // MMU drop, inter-switch drop, and pipeline drop — across the five
 // workloads of §5.2. Paper result: NetSeer and NetSight reach full
 // coverage; sampling cannot capture drops at all; EverFlow stays <1%.
+#include <cctype>
+#include <cstdlib>
+
 #include "experiment.h"
+#include "metrics_cli.h"
 #include "table.h"
 
 using namespace netseer;
@@ -19,12 +23,29 @@ void print_rows(const char* event, const CoverageRow& row) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Flags (all optional): --metrics-out=<path>, --workload=<name> to run
+  // a single workload (the CI bench-smoke path), --duration-ms=<n>.
+  MetricsCli metrics(argc, argv);
+  const auto only_workload = take_flag(argc, argv, "--workload");
+  const auto duration_ms = take_flag(argc, argv, "--duration-ms");
+
   print_title("Figure 9 — event coverage ratios (flow-attributed)");
   print_paper("NetSeer & NetSight 100%; EverFlow <1%; sampling ~0 for drops");
 
+  ExperimentConfig config;
+  config.metrics = metrics.sink();
+  if (duration_ms) config.duration = util::milliseconds(std::atoi(duration_ms->c_str()));
+
+  bool ran_any = false;
   for (const auto* workload : traffic::all_workloads()) {
-    const auto result = run_workload_experiment(*workload);
+    if (only_workload) {
+      std::string lower = workload->name();
+      for (auto& c : lower) c = static_cast<char>(std::tolower(c));
+      if (lower != *only_workload) continue;
+    }
+    ran_any = true;
+    const auto result = run_workload_experiment(*workload, config);
     std::printf("\n[%s]  traffic=%.1f MB  netseer events=%llu  zeroFN=%s zeroFP=%s\n",
                 result.workload.c_str(), result.traffic_bytes / 1e6,
                 static_cast<unsigned long long>(result.netseer_events_stored),
@@ -37,5 +58,10 @@ int main() {
     print_rows("inter-switch drop", result.interswitch_drop);
     print_rows("pipeline drop", result.pipeline_drop);
   }
-  return 0;
+  if (!ran_any) {
+    std::fprintf(stderr, "unknown workload '%s'\n",
+                 only_workload ? only_workload->c_str() : "");
+    return 2;
+  }
+  return metrics.write();
 }

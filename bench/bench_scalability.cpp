@@ -9,6 +9,7 @@
 // paper's own production extrapolation from the per-switch ceiling.
 #include "core/netseer_app.h"
 #include "fabric/fat_tree.h"
+#include "metrics_cli.h"
 #include "scenarios/harness.h"
 #include "table.h"
 #include "traffic/generator.h"
@@ -27,7 +28,8 @@ struct ScaleResult {
   double report_mbps_per_switch;
 };
 
-ScaleResult run_scale(int k_or_testbed, util::SimTime duration) {
+ScaleResult run_scale(int k_or_testbed, util::SimTime duration,
+                      telemetry::Registry* metrics) {
   scenarios::HarnessOptions options;
   options.seed = 13;
   options.topo.host_rate = util::BitRate::gbps(5);
@@ -70,12 +72,14 @@ ScaleResult run_scale(int k_or_testbed, util::SimTime duration) {
       static_cast<double>(harness.store().size()) / result.switches;
   result.report_mbps_per_switch = static_cast<double>(funnel.report_bytes) * 8.0 /
                                   util::to_seconds(duration) / 1e6 / result.switches;
+  if (metrics != nullptr) harness.collect_metrics(*metrics);
   return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  MetricsCli metrics(argc, argv);
   print_title("Scalability — per-switch NetSeer cost vs network size");
   print_paper("distributed FET scales linearly: per-switch overhead independent of size");
 
@@ -90,7 +94,7 @@ int main() {
                          Row{"fat-tree k=4", 4, util::milliseconds(15)},
                          Row{"fat-tree k=6", 6, util::milliseconds(10)},
                          Row{"fat-tree k=8", 8, util::milliseconds(8)}}) {
-    const auto result = run_scale(row.k, row.duration);
+    const auto result = run_scale(row.k, row.duration, metrics.sink());
     std::printf("  %-14s %8d %8d %12.1f %12s %16.2f\n", row.name, result.switches,
                 result.hosts, result.traffic_mb, pct(result.overhead_ratio).c_str(),
                 result.report_mbps_per_switch);
@@ -106,5 +110,5 @@ int main() {
               per_switch_cap_mbps, total_gbps);
   std::printf("  -> %d collector servers with 100G NICs; %.2f%% of 10,000 servers\n",
               collectors, 100.0 * collectors / 10000.0);
-  return 0;
+  return metrics.write();
 }

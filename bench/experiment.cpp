@@ -174,6 +174,8 @@ WorkloadResult run_workload_experiment(const traffic::EmpiricalCdf& workload,
       if (!actual.contains(group)) result.netseer_zero_fp = false;
     }
   }
+
+  if (config.metrics != nullptr) harness.collect_metrics(*config.metrics);
   return result;
 }
 

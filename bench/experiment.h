@@ -4,6 +4,7 @@
 
 #include "core/netseer_app.h"
 #include "scenarios/harness.h"
+#include "telemetry/metrics.h"
 #include "traffic/distributions.h"
 
 namespace netseer::bench {
@@ -59,6 +60,9 @@ struct ExperimentConfig {
   /// contention ratios (hosts:fabric = 1:4, as in the paper's testbed).
   util::BitRate host_rate = util::BitRate::gbps(5);
   util::BitRate fabric_rate = util::BitRate::gbps(20);
+  /// When set, the harness's full metrics snapshot is folded in here
+  /// after the run (additively — share one registry across workloads).
+  telemetry::Registry* metrics = nullptr;
 };
 
 /// Run the §5.2 benchmark setup on one workload: all-to-all traffic at

@@ -1,0 +1,45 @@
+#include "metrics_cli.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace netseer::bench {
+
+std::optional<std::string> take_flag(int& argc, char** argv, std::string_view name) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::optional<std::string> value;
+    int consumed = 0;
+    if (arg.size() > name.size() + 1 && arg.substr(0, name.size()) == name &&
+        arg[name.size()] == '=') {
+      value = std::string(arg.substr(name.size() + 1));
+      consumed = 1;
+    } else if (arg == name && i + 1 < argc) {
+      value = std::string(argv[i + 1]);
+      consumed = 2;
+    }
+    if (consumed == 0) continue;
+    for (int j = i; j + consumed <= argc; ++j) argv[j] = argv[j + consumed];
+    argc -= consumed;
+    return value;
+  }
+  return std::nullopt;
+}
+
+MetricsCli::MetricsCli(int& argc, char** argv) {
+  if (auto path = take_flag(argc, argv, "--metrics-out")) path_ = std::move(*path);
+}
+
+int MetricsCli::write() const {
+  if (path_.empty()) return 0;
+  const auto snapshot = telemetry::MetricsSnapshot::capture(registry_);
+  if (!snapshot.write_file(path_)) {
+    std::fprintf(stderr, "failed to write metrics snapshot to %s\n", path_.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "metrics snapshot (%zu series) written to %s\n", registry_.size(),
+               path_.c_str());
+  return 0;
+}
+
+}  // namespace netseer::bench

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "telemetry/snapshot.h"
+
+namespace netseer::bench {
+
+/// Remove `--name=value` or `--name value` from argv (compacting it and
+/// decrementing argc) and return the value. Lets every bench keep its
+/// positional simplicity while sharing flags like --metrics-out.
+std::optional<std::string> take_flag(int& argc, char** argv, std::string_view name);
+
+/// The --metrics-out=<path> handling shared by every bench binary and
+/// example: construct it FIRST (it strips the flag before any other
+/// parsing), register/collect metrics during the run, and return
+/// write() from main. Without the flag it is a no-op that still lets
+/// callers populate the registry.
+class MetricsCli {
+ public:
+  MetricsCli(int& argc, char** argv);
+
+  [[nodiscard]] telemetry::Registry& registry() { return registry_; }
+  /// Registry pointer for APIs taking an optional sink; null when the
+  /// flag was not given (skips collection entirely on hot benches).
+  [[nodiscard]] telemetry::Registry* sink() { return enabled() ? &registry_ : nullptr; }
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Write the snapshot if requested. Returns 0 on success (or when
+  /// disabled), 1 on I/O failure — usable as main's exit code.
+  int write() const;
+
+ private:
+  telemetry::Registry registry_;
+  std::string path_;
+};
+
+}  // namespace netseer::bench

@@ -14,6 +14,8 @@
 
 #include "packet/builder.h"
 #include "scenarios/harness.h"
+#include "telemetry/collect.h"
+#include "telemetry/snapshot.h"
 #include "traffic/generator.h"
 
 using namespace netseer;
@@ -27,6 +29,7 @@ struct Args {
   int duration_ms = 15;
   std::string fault = "lossy-link";
   std::uint64_t seed = 7;
+  std::string metrics_out;  // empty = no snapshot
 };
 
 const traffic::EmpiricalCdf* workload_by_name(const std::string& name) {
@@ -54,6 +57,10 @@ bool parse_args(int argc, char** argv, Args& args) {
       if (const char* v = next()) args.fault = v; else return false;
     } else if (flag == "--seed") {
       if (const char* v = next()) args.seed = std::strtoull(v, nullptr, 10); else return false;
+    } else if (flag == "--metrics-out") {
+      if (const char* v = next()) args.metrics_out = v; else return false;
+    } else if (flag.rfind("--metrics-out=", 0) == 0) {
+      args.metrics_out = flag.substr(std::strlen("--metrics-out="));
     } else if (flag == "--help" || flag == "-h") {
       return false;
     } else {
@@ -68,6 +75,7 @@ void usage() {
   std::puts("netseer_sim --topology testbed|fat4|fat6|fat8 --workload dctcp|vl2|cache|hadoop|web");
   std::puts("            --load <0..1> --duration-ms <n> --seed <n>");
   std::puts("            --fault none|lossy-link|blackhole|parity|acl|incast");
+  std::puts("            --metrics-out <path.json|path.csv>   write a metrics snapshot");
 }
 
 }  // namespace
@@ -217,5 +225,18 @@ int main(int argc, char** argv) {
   const auto detected = harness.netseer_groups(core::EventType::kDrop);
   std::printf("\ndrop coverage vs ground truth: %.1f%% (%zu groups)\n",
               100 * scenarios::Harness::coverage(detected, actual), actual.size());
+
+  if (!args.metrics_out.empty()) {
+    telemetry::Registry registry;
+    harness.collect_metrics(registry);
+    const auto snapshot = telemetry::MetricsSnapshot::capture(registry);
+    if (!snapshot.write_file(args.metrics_out)) {
+      std::fprintf(stderr, "failed to write metrics snapshot to %s\n",
+                   args.metrics_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "metrics snapshot (%zu series) written to %s\n", registry.size(),
+                 args.metrics_out.c_str());
+  }
   return 0;
 }

@@ -62,6 +62,9 @@ class CebpBatcher {
 
   [[nodiscard]] std::uint64_t batches_flushed() const { return batches_; }
   [[nodiscard]] std::uint64_t events_batched() const { return events_; }
+  /// Trips around the internal port — the recirculation bandwidth a real
+  /// chip would spend on CEBPs.
+  [[nodiscard]] std::uint64_t recirculations() const { return recirculations_; }
   [[nodiscard]] const CebpConfig& config() const { return config_; }
 
  private:
@@ -71,6 +74,7 @@ class CebpBatcher {
   };
 
   void circulate(std::size_t i) {
+    ++recirculations_;
     Cebp& cebp = cebps_[i];
     const auto popped = stack_.pop();
     if (popped) {
@@ -120,6 +124,7 @@ class CebpBatcher {
   std::uint32_t next_batch_seq_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t events_ = 0;
+  std::uint64_t recirculations_ = 0;
 };
 
 }  // namespace netseer::core

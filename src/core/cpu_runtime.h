@@ -6,6 +6,7 @@
 
 #include "core/switch_cpu.h"
 #include "sim/simulator.h"
+#include "telemetry/metrics.h"
 
 namespace netseer::core {
 
@@ -27,6 +28,7 @@ class SwitchCpu {
   /// Batch arrival from the PCIe channel.
   void on_batch(EventBatch&& batch) {
     events_received_ += batch.events.size();
+    batch_sizes_.record(static_cast<double>(batch.events.size()));
     const auto service =
         config_.per_event_cost * static_cast<std::int64_t>(batch.events.size());
     busy_until_ = std::max(busy_until_, sim_.now()) + service;
@@ -41,6 +43,8 @@ class SwitchCpu {
   }
 
   [[nodiscard]] const FpEliminator& fp() const { return fp_; }
+  /// Distribution of PCIe batch sizes this CPU consumed.
+  [[nodiscard]] const telemetry::Histogram& batch_sizes() const { return batch_sizes_; }
   [[nodiscard]] std::uint64_t events_received() const { return events_received_; }
   [[nodiscard]] std::uint64_t events_forwarded() const { return events_forwarded_; }
   [[nodiscard]] std::uint64_t reports_submitted() const { return reports_; }
@@ -81,6 +85,7 @@ class SwitchCpu {
   std::vector<FlowEvent> out_buffer_;
   std::uint32_t next_report_seq_ = 0;
   sim::TaskHandle flush_timer_;
+  telemetry::Histogram batch_sizes_;
   std::uint64_t events_received_ = 0;
   std::uint64_t events_forwarded_ = 0;
   std::uint64_t reports_ = 0;

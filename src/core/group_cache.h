@@ -46,6 +46,7 @@ class GroupCache {
 
     if (slot.valid && slot.event.flow == event.flow && slot.event.type == event.type) {
       // Same flow event: aggregate (lines 3-7).
+      ++hits_;
       ++slot.count;
       slot.event = event;  // keep the freshest detail (latency, ports)
       if (slot.count >= slot.target) {
@@ -56,6 +57,7 @@ class GroupCache {
     }
 
     // Different flow (or empty slot): evict + replace (lines 8-12).
+    ++misses_;
     if (slot.valid && slot.count > slot.reported) {
       // Residual count of the evicted flow would otherwise be lost.
       emit_slot(slot, emit);
@@ -82,6 +84,11 @@ class GroupCache {
   [[nodiscard]] std::uint64_t offered() const { return offered_; }
   [[nodiscard]] std::uint64_t reports() const { return reports_; }
   [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+  /// Offers aggregated into a resident flow (same flow + type).
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  /// Offers that installed a new flow (empty slot or collision eviction —
+  /// the latter are the false-merge duplicates §3.6 removes later).
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
   [[nodiscard]] const GroupCacheConfig& config() const { return config_; }
 
  private:
@@ -107,6 +114,8 @@ class GroupCache {
   std::uint64_t offered_ = 0;
   std::uint64_t reports_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
 };
 
 }  // namespace netseer::core

@@ -121,9 +121,11 @@ class NetSeerApp final : public pdp::SwitchAgent {
   void flush();
 
   // ---- Introspection ---------------------------------------------------------
+  [[nodiscard]] util::NodeId switch_id() const { return sw_.id(); }
   [[nodiscard]] const FunnelStats& funnel() const { return funnel_; }
   [[nodiscard]] const EventStack& stack() const { return stack_; }
   [[nodiscard]] const SwitchCpu& cpu() const { return *cpu_; }
+  [[nodiscard]] bool has_reporter() const { return reporter_ != nullptr; }
   [[nodiscard]] const ReliableReporter& reporter() const { return *reporter_; }
   [[nodiscard]] const CebpBatcher& batcher() const { return *batcher_; }
   [[nodiscard]] const PcieChannel& pcie() const { return *pcie_; }

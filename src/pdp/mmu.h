@@ -45,9 +45,11 @@ class Mmu {
     if (ingress == util::kInvalidPort) return PfcAction::kNone;
     auto& usage = ingress_bytes_[index(ingress, cls)];
     usage += bytes;
+    if (usage > peak_ingress_bytes_) peak_ingress_bytes_ = usage;
     if (config_.pfc_xoff_bytes > 0 && usage >= config_.pfc_xoff_bytes &&
         !upstream_paused_[index(ingress, cls)]) {
       upstream_paused_[index(ingress, cls)] = true;
+      ++pauses_generated_;
       return PfcAction::kPause;
     }
     return PfcAction::kNone;
@@ -62,10 +64,17 @@ class Mmu {
     if (usage < 0) usage = 0;
     if (upstream_paused_[index(ingress, cls)] && usage <= config_.pfc_xon_bytes) {
       upstream_paused_[index(ingress, cls)] = false;
+      ++resumes_generated_;
       return PfcAction::kResume;
     }
     return PfcAction::kNone;
   }
+
+  // ---- Telemetry surface --------------------------------------------------
+  [[nodiscard]] std::uint64_t pauses_generated() const { return pauses_generated_; }
+  [[nodiscard]] std::uint64_t resumes_generated() const { return resumes_generated_; }
+  /// High-water mark over every (ingress port, class) buffer.
+  [[nodiscard]] std::int64_t peak_ingress_bytes() const { return peak_ingress_bytes_; }
 
   [[nodiscard]] std::int64_t ingress_usage(util::PortId ingress, util::QueueId cls) const {
     return ingress_bytes_[index(ingress, cls)];
@@ -82,6 +91,9 @@ class Mmu {
   MmuConfig config_;
   std::vector<std::int64_t> ingress_bytes_;
   std::vector<bool> upstream_paused_;
+  std::uint64_t pauses_generated_ = 0;
+  std::uint64_t resumes_generated_ = 0;
+  std::int64_t peak_ingress_bytes_ = 0;
 };
 
 }  // namespace netseer::pdp

@@ -92,13 +92,17 @@ void Switch::run_pipeline(packet::Packet&& pkt, PipelineContext ctx) {
     return;
   }
 
+  ++stages_.parsed;
+
   // L3 route lookup + ECMP member selection.
   const packet::FlowKey flow = pkt.flow();
   const EcmpGroup* group = routes_.lookup(pkt.ip->dst);
   if (group == nullptr || group->empty()) {
+    ++stages_.lpm_misses;
     drop(pkt, ctx, DropReason::kRouteMiss);
     return;
   }
+  ++stages_.lpm_hits;
   ctx.egress_port = group->select(flow, config_.ecmp_seed);
   if (ctx.egress_port >= ports_.size()) {
     drop(pkt, ctx, DropReason::kRouteMiss);
@@ -106,8 +110,10 @@ void Switch::run_pipeline(packet::Packet&& pkt, PipelineContext ctx) {
   }
 
   // ACL.
+  ++stages_.acl_evaluated;
   const auto verdict = acl_.evaluate(flow);
   if (!verdict.permit) {
+    ++stages_.acl_denied;
     ctx.acl_rule_id = verdict.rule_id;
     drop(pkt, ctx, DropReason::kAclDeny);
     return;
@@ -164,6 +170,7 @@ void Switch::enqueue(packet::Packet&& pkt, const PipelineContext& ctx) {
   if (!mmu_.admit(port.queue_bytes(ctx.queue), pkt.wire_bytes())) {
     ++drop_counters_[static_cast<std::size_t>(DropReason::kCongestion)];
     ++counters_[ctx.egress_port].egress_drops;
+    ++queue_counters_[ctx.queue].drops;
     PipelineContext drop_ctx = ctx;
     drop_ctx.drop = DropReason::kCongestion;
     for (auto* agent : agents_) agent->on_mmu_drop(*this, pkt, drop_ctx);
@@ -181,10 +188,15 @@ void Switch::enqueue(packet::Packet&& pkt, const PipelineContext& ctx) {
   if (config_.mmu.ecn_mark_bytes > 0 && pkt.ip && pkt.ip->ecn != 0 &&
       port.queue_bytes(ctx.queue) > config_.mmu.ecn_mark_bytes) {
     pkt.ip->ecn = 3;  // CE
+    ++stages_.ecn_marked;
   }
 
   pkt.meta.mmu_accounted = true;
+  auto& queue_stats = queue_counters_[ctx.queue];
+  ++queue_stats.enqueues;
   port.enqueue(std::move(pkt), ctx.queue);
+  const std::int64_t occupancy = port.queue_bytes(ctx.queue);
+  if (occupancy > queue_stats.peak_bytes) queue_stats.peak_bytes = occupancy;
 }
 
 void Switch::handle_egress(packet::Packet& pkt, util::PortId port, util::QueueId queue,

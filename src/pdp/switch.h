@@ -40,6 +40,25 @@ struct PortCounters {
   std::uint64_t egress_drops = 0;   // MMU drops targeting this port
 };
 
+/// Per-stage table hit counters across the forwarding pipeline — the
+/// introspection surface the telemetry layer exports (what a P4 compiler
+/// would report as per-table hit counts).
+struct StageCounters {
+  std::uint64_t parsed = 0;        // packets entering the L3 pipeline
+  std::uint64_t lpm_hits = 0;      // route lookups that matched a group
+  std::uint64_t lpm_misses = 0;    // blackholes / parity-corrupted entries
+  std::uint64_t acl_evaluated = 0;
+  std::uint64_t acl_denied = 0;
+  std::uint64_t ecn_marked = 0;    // CE marks applied at enqueue
+};
+
+/// Per-queue-class counters, aggregated over all ports of the switch.
+struct QueueCounters {
+  std::uint64_t enqueues = 0;
+  std::uint64_t drops = 0;        // MMU tail drops against this class
+  std::int64_t peak_bytes = 0;    // occupancy high-water, sampled at enqueue
+};
+
 /// The programmable switch: parser, L3 LPM forwarding with ECMP, ACL,
 /// TTL/MTU checks, an MMU with per-queue tail drop and PFC generation,
 /// strict-priority egress scheduling, and an agent extension surface at
@@ -64,6 +83,7 @@ class Switch : public net::Node {
   [[nodiscard]] LpmTable& routes() { return routes_; }
   [[nodiscard]] AclTable& acl() { return acl_; }
   [[nodiscard]] Mmu& mmu() { return mmu_; }
+  [[nodiscard]] const Mmu& mmu() const { return mmu_; }
 
   void add_agent(SwitchAgent* agent);
 
@@ -95,6 +115,10 @@ class Switch : public net::Node {
     return drop_counters_[static_cast<std::size_t>(reason)];
   }
   [[nodiscard]] std::uint64_t total_drops() const;
+  [[nodiscard]] const StageCounters& stages() const { return stages_; }
+  [[nodiscard]] const QueueCounters& queue_counters(util::QueueId queue) const {
+    return queue_counters_[queue];
+  }
 
  private:
   void run_pipeline(packet::Packet&& pkt, PipelineContext ctx);
@@ -112,6 +136,8 @@ class Switch : public net::Node {
   std::vector<bool> port_up_;
   std::vector<PortCounters> counters_;
   std::array<std::uint64_t, 16> drop_counters_{};
+  StageCounters stages_;
+  std::array<QueueCounters, util::kNumQueues> queue_counters_{};
   LpmTable routes_;
   AclTable acl_;
   Mmu mmu_;

@@ -1,5 +1,9 @@
 #include "scenarios/harness.h"
 
+#include <chrono>
+
+#include "telemetry/collect.h"
+
 namespace netseer::scenarios {
 
 Harness::Harness(const HarnessOptions& options)
@@ -92,6 +96,7 @@ std::uint64_t Harness::total_generated_bytes() const {
 }
 
 void Harness::run_and_settle(util::SimTime until) {
+  const auto wall_start = std::chrono::steady_clock::now();
   auto& sim = simulator();
   sim.run_until(until);
   // Periodic monitors would keep the event queue alive forever.
@@ -104,6 +109,16 @@ void Harness::run_and_settle(util::SimTime until) {
   sim.run();
   for (auto& app : apps_) app->flush();
   sim.run();
+  wall_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+}
+
+void Harness::collect_metrics(telemetry::Registry& registry) const {
+  for (const auto* sw : testbed_.all_switches()) telemetry::collect(registry, *sw);
+  for (const auto& app : apps_) telemetry::collect(registry, *app);
+  if (collector_) telemetry::collect(registry, *collector_);
+  if (store_) telemetry::collect(registry, *store_);
+  telemetry::collect(registry, testbed_.net->simulator(), wall_seconds_);
 }
 
 monitors::EventGroupSet Harness::netseer_groups(std::optional<core::EventType> type) const {

@@ -14,6 +14,7 @@
 #include "monitors/pingmesh.h"
 #include "monitors/sampling.h"
 #include "monitors/snmp.h"
+#include "telemetry/metrics.h"
 #include "traffic/generator.h"
 
 namespace netseer::scenarios {
@@ -82,6 +83,15 @@ class Harness {
   /// Aggregate funnel stats over all switches (Fig. 13 numerators).
   [[nodiscard]] core::FunnelStats total_funnel() const;
 
+  /// Fold every layer's counters (switches, NetSeer apps, collector,
+  /// store, simulator) into `registry` — the testbed-wide metrics
+  /// snapshot behind every --metrics-out flag. Additive: safe to call
+  /// once per harness across several harnesses sharing one registry.
+  void collect_metrics(telemetry::Registry& registry) const;
+
+  /// Wall-clock seconds spent inside run_and_settle so far.
+  [[nodiscard]] double wall_seconds() const { return wall_seconds_; }
+
  private:
   HarnessOptions options_;
   fabric::Testbed testbed_;
@@ -98,6 +108,7 @@ class Harness {
   std::unique_ptr<monitors::PingmeshProber> pingmesh_;
   std::unique_ptr<monitors::SnmpMonitor> snmp_;
   std::vector<std::unique_ptr<traffic::FlowGenerator>> generators_;
+  double wall_seconds_ = 0.0;
 };
 
 inline constexpr util::NodeId kCollectorId = 100000;

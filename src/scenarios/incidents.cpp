@@ -79,6 +79,7 @@ IncidentReport IncidentSuite::routing_error() {
   });
 
   harness.run_and_settle(util::milliseconds(8));
+  if (metrics_ != nullptr) harness.collect_metrics(*metrics_);
 
   std::size_t events = 0;
   report.detection_latency = first_detection(
@@ -118,6 +119,7 @@ IncidentReport IncidentSuite::acl_misconfiguration() {
   send_paced(vm, victim, 100, util::microseconds(20), 400, onset);
 
   harness.run_and_settle(util::milliseconds(6));
+  if (metrics_ != nullptr) harness.collect_metrics(*metrics_);
 
   // ACL drops aggregate by rule: query the device for kAclDrop events.
   backend::EventQuery query;
@@ -167,6 +169,7 @@ IncidentReport IncidentSuite::parity_error() {
   }
 
   harness.run_and_settle(util::milliseconds(8));
+  if (metrics_ != nullptr) harness.collect_metrics(*metrics_);
 
   // Operators query drop events toward the Redis service.
   backend::EventQuery query;
@@ -216,6 +219,7 @@ IncidentReport IncidentSuite::unexpected_volume() {
   traffic::launch_incast(bullies, shared_dst.addr(), 200 * 1000, 1000, onset);
 
   harness.run_and_settle(util::milliseconds(10));
+  if (metrics_ != nullptr) harness.collect_metrics(*metrics_);
 
   // The victim's congestion events point at the device...
   std::size_t victim_events = 0;
@@ -284,6 +288,7 @@ IncidentReport IncidentSuite::server_side_bug() {
   traffic::launch_incast(noise, tb.hosts[17]->addr(), 400 * 1000, 1000, onset);
 
   harness.run_and_settle(util::milliseconds(10));
+  if (metrics_ != nullptr) harness.collect_metrics(*metrics_);
 
   // Query the victim's flows: no events -> network exonerated.
   std::size_t victim_events = 0;

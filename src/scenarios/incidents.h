@@ -37,6 +37,10 @@ class IncidentSuite {
  public:
   explicit IncidentSuite(std::uint64_t seed = 1) : seed_(seed) {}
 
+  /// When set, every replay folds its harness counters into `registry`
+  /// after settling (see Harness::collect_metrics).
+  void set_metrics(telemetry::Registry* registry) { metrics_ = registry; }
+
   /// #1 Routing error due to network update: wrong route installed at
   /// the core layer; victim traffic loops and dies by TTL.
   [[nodiscard]] IncidentReport routing_error();
@@ -61,6 +65,7 @@ class IncidentSuite {
 
  private:
   std::uint64_t seed_;
+  telemetry::Registry* metrics_ = nullptr;
 };
 
 }  // namespace netseer::scenarios

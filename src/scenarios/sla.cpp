@@ -104,6 +104,7 @@ SlaStudyResult run_sla_study(const SlaStudyConfig& config) {
   sim.schedule_at(loss_to, [lossy] { lossy->set_fault_model(net::LinkFaultModel{}); });
 
   harness.run_and_settle(config.duration + util::milliseconds(30));
+  if (config.metrics != nullptr) harness.collect_metrics(*config.metrics);
   for (auto& client : clients) client->finish();
 
   // ---- Host metrics model: per metric window, did the server report an

@@ -6,6 +6,10 @@
 
 #include "util/time.h"
 
+namespace netseer::telemetry {
+class Registry;
+}  // namespace netseer::telemetry
+
 namespace netseer::scenarios {
 
 /// The §5.1 "troubleshooting occasional SLA violations" study (Fig. 8b):
@@ -48,6 +52,8 @@ struct SlaStudyConfig {
   util::SimDuration slow_threshold = util::milliseconds(1);
   /// Host metric aggregation window (the paper's 15 s, scaled).
   util::SimDuration metric_window = util::milliseconds(10);
+  /// When non-null, the study folds its harness counters in after settling.
+  telemetry::Registry* metrics = nullptr;
 };
 
 [[nodiscard]] SlaStudyResult run_sla_study(const SlaStudyConfig& config = {});

@@ -11,15 +11,10 @@ TaskHandle Simulator::schedule_at(SimTime when, std::function<void()> fn) {
 
 TaskHandle Simulator::schedule_every(SimDuration interval, std::function<void()> fn) {
   auto alive = std::make_shared<bool>(true);
-  // Each firing reschedules itself while the shared token stays alive.
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, interval, fn = std::move(fn), alive, tick]() {
-    if (!*alive) return;
-    fn();
-    if (!*alive) return;
-    queue_.push(Entry{now_ + interval, next_seq_++, *tick, alive, /*oneshot=*/false});
-  };
-  queue_.push(Entry{now_ + interval, next_seq_++, *tick, alive, /*oneshot=*/false});
+  // execute() reschedules interval-tagged entries, so the closure never
+  // has to reference itself (a self-owning cycle that would never free).
+  queue_.push(
+      Entry{now_ + interval, next_seq_++, std::move(fn), alive, /*oneshot=*/false, interval});
   return TaskHandle(std::move(alive));
 }
 
@@ -28,7 +23,13 @@ void Simulator::execute(Entry& entry) {
   entry.fn();
   // One-shot handles report inactive after firing, so owners can re-arm
   // timers by checking handle.active().
-  if (entry.oneshot && entry.alive) *entry.alive = false;
+  if (entry.oneshot) {
+    if (entry.alive) *entry.alive = false;
+  } else if (entry.interval > 0 && (!entry.alive || *entry.alive)) {
+    // Periodic: requeue unless the handle was cancelled during this firing.
+    queue_.push(Entry{now_ + entry.interval, next_seq_++, std::move(entry.fn), entry.alive,
+                      /*oneshot=*/false, entry.interval});
+  }
 }
 
 void Simulator::run() {

@@ -73,7 +73,8 @@ class Simulator {
     std::uint64_t seq;
     std::function<void()> fn;
     std::shared_ptr<bool> alive;
-    bool oneshot = true;  // expire the handle after firing
+    bool oneshot = true;         // expire the handle after firing
+    SimDuration interval = 0;    // > 0: execute() reschedules after firing
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {

@@ -1,0 +1,168 @@
+#include "telemetry/collect.h"
+
+#include <string>
+
+#include "backend/collector.h"
+#include "backend/event_store.h"
+#include "core/netseer_app.h"
+#include "pdp/switch.h"
+#include "sim/simulator.h"
+
+namespace netseer::telemetry {
+
+namespace {
+constexpr std::string_view kPdp = "pdp";
+constexpr std::string_view kCore = "core";
+constexpr std::string_view kBackend = "backend";
+constexpr std::string_view kSim = "sim";
+}  // namespace
+
+void collect(Registry& registry, const pdp::Switch& sw) {
+  const util::NodeId node = sw.id();
+
+  // Drops, by reason plus the headline MMU series.
+  registry.counter(kPdp, "mmu.drops", node).add(sw.drops(pdp::DropReason::kCongestion));
+  for (const auto reason :
+       {pdp::DropReason::kRouteMiss, pdp::DropReason::kPortDown, pdp::DropReason::kAclDeny,
+        pdp::DropReason::kTtlExpired, pdp::DropReason::kMtuExceeded,
+        pdp::DropReason::kParserError, pdp::DropReason::kCongestion}) {
+    const auto count = sw.drops(reason);
+    if (count == 0) continue;
+    registry.counter(kPdp, std::string("drops.") + pdp::to_string(reason), node).add(count);
+  }
+  registry.counter(kPdp, "hardware_discards", node).add(sw.hardware_discards());
+
+  // Per-stage table hits.
+  const auto& stages = sw.stages();
+  registry.counter(kPdp, "stage.parsed", node).add(stages.parsed);
+  registry.counter(kPdp, "stage.lpm_hits", node).add(stages.lpm_hits);
+  registry.counter(kPdp, "stage.lpm_misses", node).add(stages.lpm_misses);
+  registry.counter(kPdp, "stage.acl_evaluated", node).add(stages.acl_evaluated);
+  registry.counter(kPdp, "stage.acl_denied", node).add(stages.acl_denied);
+  registry.counter(kPdp, "stage.ecn_marked", node).add(stages.ecn_marked);
+
+  // Per-queue-class counters (only classes that saw traffic).
+  for (util::QueueId q = 0; q < util::kNumQueues; ++q) {
+    const auto& qc = sw.queue_counters(q);
+    if (qc.enqueues == 0 && qc.drops == 0) continue;
+    const std::string prefix = "queue." + std::to_string(q);
+    registry.counter(kPdp, prefix + ".enqueues", node).add(qc.enqueues);
+    registry.counter(kPdp, prefix + ".drops", node).add(qc.drops);
+    registry.gauge(kPdp, prefix + ".peak_bytes", node).update_max(qc.peak_bytes);
+  }
+
+  // Port totals (aggregated: per-port series would explode the snapshot).
+  std::uint64_t rx_packets = 0, rx_bytes = 0, fcs = 0, egress_drops = 0;
+  for (util::PortId p = 0; p < sw.config().num_ports; ++p) {
+    const auto& c = sw.counters(p);
+    rx_packets += c.rx_packets;
+    rx_bytes += c.rx_bytes;
+    fcs += c.rx_fcs_errors;
+    egress_drops += c.egress_drops;
+  }
+  registry.counter(kPdp, "port.rx_packets", node).add(rx_packets);
+  registry.counter(kPdp, "port.rx_bytes", node).add(rx_bytes);
+  registry.counter(kPdp, "port.rx_fcs_errors", node).add(fcs);
+  registry.counter(kPdp, "port.egress_drops", node).add(egress_drops);
+
+  // PFC generation from the MMU's ingress accounting.
+  const auto& mmu = sw.mmu();
+  registry.counter(kPdp, "mmu.pfc_pauses", node).add(mmu.pauses_generated());
+  registry.counter(kPdp, "mmu.pfc_resumes", node).add(mmu.resumes_generated());
+  registry.gauge(kPdp, "mmu.ingress_peak_bytes", node).update_max(mmu.peak_ingress_bytes());
+}
+
+void collect(Registry& registry, const core::NetSeerApp& app) {
+  const util::NodeId node = app.switch_id();
+
+  // Group caches (drop/congestion/pause/spare folded together).
+  std::uint64_t hits = 0, misses = 0, evictions = 0, offered = 0, reports = 0;
+  for (const auto type : {core::EventType::kDrop, core::EventType::kCongestion,
+                          core::EventType::kPause, core::EventType::kPathChange}) {
+    const auto& cache = app.cache(type);
+    hits += cache.hits();
+    misses += cache.misses();
+    evictions += cache.evictions();
+    offered += cache.offered();
+    reports += cache.reports();
+  }
+  registry.counter(kCore, "group_cache.hits", node).add(hits);
+  registry.counter(kCore, "group_cache.misses", node).add(misses);
+  registry.counter(kCore, "group_cache.evictions", node).add(evictions);
+  registry.counter(kCore, "group_cache.offered", node).add(offered);
+  registry.counter(kCore, "group_cache.reports", node).add(reports);
+
+  // Event stack — the bounded ring of register stages CEBPs pop from.
+  const auto& stack = app.stack();
+  registry.counter(kCore, "ring_buffer.pushes", node).add(stack.pushes());
+  registry.counter(kCore, "ring_buffer.overflows", node).add(stack.overflows());
+  registry.gauge(kCore, "ring_buffer.high_water", node)
+      .update_max(static_cast<std::int64_t>(stack.high_watermark()));
+
+  // CEBP recirculation loop.
+  const auto& batcher = app.batcher();
+  registry.counter(kCore, "cebp.recirculations", node).add(batcher.recirculations());
+  registry.counter(kCore, "cebp.batches", node).add(batcher.batches_flushed());
+  registry.counter(kCore, "cebp.events_batched", node).add(batcher.events_batched());
+
+  // PCIe channel to the switch CPU.
+  const auto& pcie = app.pcie();
+  registry.counter(kCore, "pcie.bytes", node).add(pcie.bytes_submitted());
+  registry.counter(kCore, "pcie.batches_submitted", node).add(pcie.batches_submitted());
+  registry.counter(kCore, "pcie.batches_delivered", node).add(pcie.batches_delivered());
+  registry.gauge(kCore, "pcie.backlog_high_water", node)
+      .update_max(static_cast<std::int64_t>(pcie.high_watermark()));
+
+  // Switch CPU: FP elimination + batch-size distribution.
+  const auto& cpu = app.cpu();
+  registry.counter(kCore, "cpu.events_received", node).add(cpu.events_received());
+  registry.counter(kCore, "cpu.events_forwarded", node).add(cpu.events_forwarded());
+  registry.counter(kCore, "cpu.reports_submitted", node).add(cpu.reports_submitted());
+  registry.counter(kCore, "cpu.fp_eliminated", node).add(cpu.fp().eliminated());
+  registry.histogram(kCore, "cpu.batch_size", node).merge(cpu.batch_sizes());
+
+  // Reliable channel to the backend (absent in pipeline-only setups).
+  if (app.has_reporter()) {
+    const auto& reporter = app.reporter();
+    registry.counter(kCore, "reliable.submitted", node).add(reporter.submitted());
+    registry.counter(kCore, "reliable.segments_sent", node).add(reporter.segments_sent());
+    registry.counter(kCore, "reliable.retransmits", node).add(reporter.retransmits());
+    registry.counter(kCore, "reliable.acks", node).add(reporter.acked());
+  }
+
+  // Funnel byte accounting (Fig. 13's numerators) + capacity misses.
+  const auto& funnel = app.funnel();
+  registry.counter(kCore, "funnel.traffic_bytes", node).add(funnel.traffic_bytes);
+  registry.counter(kCore, "funnel.traffic_packets", node).add(funnel.traffic_packets);
+  registry.counter(kCore, "funnel.event_packets", node).add(funnel.event_packets);
+  registry.counter(kCore, "funnel.dedup_reports", node).add(funnel.dedup_reports);
+  registry.counter(kCore, "funnel.report_bytes", node).add(funnel.report_bytes);
+  registry.counter(kCore, "funnel.notify_bytes", node).add(funnel.notify_bytes);
+  registry.counter(kCore, "missed_mmu_redirects", node).add(app.missed_mmu_redirects());
+  registry.counter(kCore, "missed_internal_port", node).add(app.missed_internal_port());
+}
+
+void collect(Registry& registry, const backend::Collector& collector) {
+  const util::NodeId node = collector.id();
+  registry.counter(kBackend, "segments_received", node).add(collector.segments_received());
+  registry.counter(kBackend, "duplicate_segments", node).add(collector.duplicate_segments());
+  registry.counter(kBackend, "events_ingested", node).add(collector.events_stored());
+}
+
+void collect(Registry& registry, const backend::EventStore& store) {
+  registry.gauge(kBackend, "store.events").update_max(static_cast<std::int64_t>(store.size()));
+}
+
+void collect(Registry& registry, const sim::Simulator& sim, double wall_seconds) {
+  registry.counter(kSim, "events_processed").add(sim.events_processed());
+  registry.gauge(kSim, "virtual_time_ns").update_max(sim.now());
+  registry.counter(kSim, "wall_time_us")
+      .add(static_cast<std::uint64_t>(wall_seconds * 1e6));
+  const double sim_seconds = static_cast<double>(sim.now()) / 1e9;
+  if (sim_seconds > 0) {
+    registry.gauge(kSim, "wall_us_per_sim_s")
+        .update_max(static_cast<std::int64_t>(wall_seconds * 1e6 / sim_seconds));
+  }
+}
+
+}  // namespace netseer::telemetry

@@ -1,0 +1,48 @@
+#pragma once
+
+#include "telemetry/metrics.h"
+
+namespace netseer::pdp {
+class Switch;
+}
+namespace netseer::core {
+class NetSeerApp;
+}
+namespace netseer::backend {
+class Collector;
+class EventStore;
+}
+namespace netseer::sim {
+class Simulator;
+}
+
+namespace netseer::telemetry {
+
+/// Fold one component's introspection counters into `registry`, keyed by
+/// (subsystem, name, node). Counter collection is ADDITIVE and gauge
+/// high-water collection is MAX-merging, so collecting several fresh
+/// harness runs (one per workload, say) into one registry accumulates
+/// totals instead of overwriting.
+
+/// Subsystem "pdp": per-reason drops (incl. mmu.drops), per-queue
+/// enqueue/drop/occupancy-peak, per-stage table hits, PFC generation,
+/// port totals. Node = the switch's id.
+void collect(Registry& registry, const pdp::Switch& sw);
+
+/// Subsystem "core": group-cache hit/miss/evict, ring-buffer (event
+/// stack) high-water & overflow, CEBP recirculations, PCIe bytes,
+/// switch-CPU batch sizes & FP elimination, reliable-channel
+/// retransmits/acks, funnel byte accounting. Node = the switch's id.
+void collect(Registry& registry, const core::NetSeerApp& app);
+
+/// Subsystem "backend": segments/events ingested, duplicates removed.
+void collect(Registry& registry, const backend::Collector& collector);
+
+/// Subsystem "backend": current store population (global gauge).
+void collect(Registry& registry, const backend::EventStore& store);
+
+/// Subsystem "sim": events processed, virtual time, and wall-clock cost
+/// per simulated second (pass the wall time the caller measured).
+void collect(Registry& registry, const sim::Simulator& sim, double wall_seconds);
+
+}  // namespace netseer::telemetry

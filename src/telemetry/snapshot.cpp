@@ -1,0 +1,152 @@
+#include "telemetry/snapshot.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace netseer::telemetry {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// JSON has no Infinity/NaN; emit null for non-finite doubles.
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_key(std::string& out, const MetricKey& key) {
+  out += "\"subsystem\":";
+  append_escaped(out, key.subsystem);
+  out += ",\"name\":";
+  append_escaped(out, key.name);
+  out += ",\"node\":";
+  if (key.node == util::kInvalidNode) {
+    out += "null";
+  } else {
+    out += std::to_string(key.node);
+  }
+}
+
+std::string csv_node(const MetricKey& key) {
+  return key.node == util::kInvalidNode ? std::string() : std::to_string(key.node);
+}
+
+}  // namespace
+
+MetricsSnapshot MetricsSnapshot::capture(const Registry& registry) {
+  MetricsSnapshot snapshot;
+  snapshot.data_ = registry;  // value copy: maps of POD-ish cells
+  return snapshot;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\n  \"counters\": [";
+  bool first = true;
+  for (const auto& [key, counter] : data_.counters()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {";
+    append_key(out, key);
+    out += ",\"value\":" + std::to_string(counter.value()) + "}";
+  }
+  out += "\n  ],\n  \"gauges\": [";
+  first = true;
+  for (const auto& [key, gauge] : data_.gauges()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {";
+    append_key(out, key);
+    out += ",\"value\":" + std::to_string(gauge.value());
+    out += ",\"peak\":" + std::to_string(gauge.peak()) + "}";
+  }
+  out += "\n  ],\n  \"histograms\": [";
+  first = true;
+  for (const auto& [key, histogram] : data_.histograms()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {";
+    append_key(out, key);
+    const auto& summary = histogram.summary();
+    out += ",\"count\":" + std::to_string(summary.count());
+    out += ",\"sum\":";
+    append_double(out, summary.sum());
+    out += ",\"mean\":";
+    append_double(out, summary.mean());
+    out += ",\"min\":";
+    append_double(out, summary.min());
+    out += ",\"max\":";
+    append_double(out, summary.max());
+    // Sparse bucket list: [[inclusive_low, count], ...], empties skipped.
+    out += ",\"buckets\":[";
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (histogram.buckets()[i] == 0) continue;
+      if (!first_bucket) out += ',';
+      first_bucket = false;
+      out += '[';
+      append_double(out, Histogram::bucket_low(i));
+      out += ',' + std::to_string(histogram.buckets()[i]) + ']';
+    }
+    out += "]}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::to_csv() const {
+  std::ostringstream out;
+  out << "kind,subsystem,name,node,value,peak,count,mean,min,max\n";
+  for (const auto& [key, counter] : data_.counters()) {
+    out << "counter," << key.subsystem << ',' << key.name << ',' << csv_node(key) << ','
+        << counter.value() << ",,,,,\n";
+  }
+  for (const auto& [key, gauge] : data_.gauges()) {
+    out << "gauge," << key.subsystem << ',' << key.name << ',' << csv_node(key) << ','
+        << gauge.value() << ',' << gauge.peak() << ",,,,\n";
+  }
+  for (const auto& [key, histogram] : data_.histograms()) {
+    const auto& summary = histogram.summary();
+    out << "histogram," << key.subsystem << ',' << key.name << ',' << csv_node(key) << ",,,"
+        << summary.count() << ',' << summary.mean() << ',' << summary.min() << ','
+        << summary.max() << "\n";
+  }
+  return out.str();
+}
+
+bool MetricsSnapshot::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  const bool csv = path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  out << (csv ? to_csv() : to_json());
+  return static_cast<bool>(out);
+}
+
+}  // namespace netseer::telemetry

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+
+#include "telemetry/metrics.h"
+
+namespace netseer::telemetry {
+
+/// Immutable copy of a Registry's state, exportable as JSON or CSV.
+/// Capture once at the end of a run; the registry keeps mutating.
+class MetricsSnapshot {
+ public:
+  static MetricsSnapshot capture(const Registry& registry);
+
+  /// One JSON object: {"counters": [...], "gauges": [...], "histograms":
+  /// [...]}. Every series entry carries subsystem/name/node. Machine-
+  /// parseable by any JSON reader (and `jq`); no external library used.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Flat CSV: kind,subsystem,name,node,value,peak,count,mean,min,max.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Write to `path`; format chosen by extension (.csv => CSV, else
+  /// JSON). Returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+  [[nodiscard]] const Registry& data() const { return data_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+ private:
+  Registry data_;
+};
+
+}  // namespace netseer::telemetry

@@ -84,27 +84,36 @@ std::size_t TraceReplayer::replay(const std::vector<TraceRecord>& records) {
   return scheduled;
 }
 
+namespace {
+
+struct FlowState {
+  packet::FlowKey flow;
+  std::uint64_t remaining;
+  TraceReplayer::Options options;
+};
+
+// Each firing schedules a fresh one-shot closure for the next segment;
+// a closure that owned a shared_ptr to itself would never be freed.
+void pump_flow(net::Host& host, const std::shared_ptr<FlowState>& state) {
+  const auto payload = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(state->remaining, state->options.packet_payload));
+  host.send(packet::make_tcp(state->flow, payload));
+  state->remaining -= payload;
+  if (state->remaining > 0) {
+    host.simulator().schedule_after(state->options.flow_rate.serialization_delay(payload),
+                                    [&host, state] { pump_flow(host, state); });
+  }
+}
+
+}  // namespace
+
 void TraceReplayer::send_flow(net::Host& host, const TraceRecord& record) {
   // Paced packetization, like FlowGenerator: one segment per
   // serialization interval at the configured per-flow rate.
-  struct State {
-    packet::FlowKey flow;
-    std::uint64_t remaining;
-  };
-  auto state = std::make_shared<State>(
-      State{packet::FlowKey{record.src, record.dst, 6, record.sport, record.dport},
-            std::max<std::uint64_t>(record.bytes, 1)});
-  auto step = std::make_shared<std::function<void()>>();
-  *step = [this, &host, state, step] {
-    const auto payload = static_cast<std::uint32_t>(
-        std::min<std::uint64_t>(state->remaining, options_.packet_payload));
-    host.send(packet::make_tcp(state->flow, payload));
-    state->remaining -= payload;
-    if (state->remaining > 0) {
-      host.simulator().schedule_after(options_.flow_rate.serialization_delay(payload), *step);
-    }
-  };
-  (*step)();
+  auto state = std::make_shared<FlowState>(
+      FlowState{packet::FlowKey{record.src, record.dst, 6, record.sport, record.dport},
+                std::max<std::uint64_t>(record.bytes, 1), options_});
+  pump_flow(host, state);
 }
 
 }  // namespace netseer::traffic

@@ -22,6 +22,25 @@ class Summary {
     sum_ += x;
   }
 
+  /// Combine with another accumulator (Chan's parallel variance update),
+  /// so per-component summaries can fold into an aggregate.
+  void merge(const Summary& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto total = static_cast<double>(n_ + other.n_);
+    m2_ += other.m2_ +
+           delta * delta * static_cast<double>(n_) * static_cast<double>(other.n_) / total;
+    mean_ += delta * static_cast<double>(other.n_) / total;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
   [[nodiscard]] std::uint64_t count() const { return n_; }
   [[nodiscard]] double sum() const { return sum_; }
   [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }

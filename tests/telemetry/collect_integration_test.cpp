@@ -1,0 +1,110 @@
+// End-to-end check that the telemetry layer reports what actually
+// happened: drive a congested run, then assert the collected
+// pdp.mmu.drops counters equal both the switches' own congestion-drop
+// counts and the omniscient ground-truth recorder's per-packet log.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "scenarios/harness.h"
+#include "telemetry/collect.h"
+#include "telemetry/metrics.h"
+#include "traffic/generator.h"
+
+namespace netseer {
+namespace {
+
+class CollectIntegration : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenarios::HarnessOptions options;
+    options.seed = 11;
+    options.topo.host_rate = util::BitRate::gbps(5);
+    options.topo.fabric_rate = util::BitRate::gbps(20);
+    harness_ = std::make_unique<scenarios::Harness>(options);
+    auto& tb = harness_->testbed();
+
+    traffic::GeneratorConfig gen;
+    gen.sizes = &traffic::web();
+    gen.load = 0.4;
+    gen.flow_rate = util::BitRate::gbps(1);
+    gen.stop = util::milliseconds(8);
+    harness_->add_workload(gen);
+
+    // A 16-way incast into one 5G downlink guarantees MMU tail drops.
+    std::vector<net::Host*> senders(tb.hosts.begin() + 16, tb.hosts.end());
+    traffic::launch_incast(senders, tb.hosts[9]->addr(), 200 * 1000, 1000,
+                           util::milliseconds(2));
+
+    harness_->run_and_settle(util::milliseconds(20));
+    harness_->collect_metrics(registry_);
+  }
+
+  std::unique_ptr<scenarios::Harness> harness_;
+  telemetry::Registry registry_;
+};
+
+TEST_F(CollectIntegration, MmuDropCountersMatchGroundTruthExactly) {
+  // Ground truth logs one TrueEvent per dropped packet, tagged with the
+  // node it died at.
+  std::map<util::NodeId, std::uint64_t> truth_drops;
+  std::uint64_t truth_total = 0;
+  for (const auto& ev : harness_->truth().events()) {
+    if (ev.type != core::EventType::kDrop ||
+        ev.drop_reason != pdp::DropReason::kCongestion) {
+      continue;
+    }
+    ++truth_drops[ev.node];
+    ++truth_total;
+  }
+  ASSERT_GT(truth_total, 0u) << "scenario failed to congest anything";
+
+  EXPECT_EQ(registry_.total("pdp", "mmu.drops"), truth_total);
+  for (auto* sw : harness_->testbed().all_switches()) {
+    const auto expected =
+        truth_drops.count(sw->id()) ? truth_drops.at(sw->id()) : 0;
+    // Series exist only for switches, all initialized by collect().
+    EXPECT_EQ(registry_.counter("pdp", "mmu.drops", sw->id()).value(), expected)
+        << sw->name();
+    // And they agree with the switch's own drop-reason counter.
+    EXPECT_EQ(sw->drops(pdp::DropReason::kCongestion), expected) << sw->name();
+  }
+}
+
+TEST_F(CollectIntegration, PerQueueDropsSumToMmuDrops) {
+  for (auto* sw : harness_->testbed().all_switches()) {
+    std::uint64_t queue_total = 0;
+    for (util::QueueId q = 0; q < util::kNumQueues; ++q) {
+      queue_total += sw->queue_counters(q).drops;
+    }
+    EXPECT_EQ(queue_total, sw->drops(pdp::DropReason::kCongestion)) << sw->name();
+  }
+}
+
+TEST_F(CollectIntegration, CoreAndBackendSeriesArePopulated) {
+  // Traffic flowed, so the pipeline stages and the reporting funnel saw it.
+  EXPECT_GT(registry_.total("pdp", "stage.parsed"), 0u);
+  EXPECT_GT(registry_.total("core", "group_cache.offered"), 0u);
+  EXPECT_GT(registry_.total("core", "ring_buffer.pushes"), 0u);
+  EXPECT_GT(registry_.total("core", "reliable.submitted"), 0u);
+  EXPECT_GT(registry_.total("backend", "events_ingested"), 0u);
+  EXPECT_GT(registry_.total("sim", "events_processed"), 0u);
+  // The backend ingested exactly what the store holds.
+  EXPECT_EQ(registry_.total("backend", "events_ingested"), harness_->store().size());
+}
+
+TEST_F(CollectIntegration, CollectIsAdditiveAcrossRuns) {
+  // Folding the same harness in again doubles every counter: multiple
+  // runs can share one registry (the --metrics-out accumulation model).
+  const auto before = registry_.total("pdp", "mmu.drops");
+  ASSERT_GT(before, 0u);
+  harness_->collect_metrics(registry_);
+  EXPECT_EQ(registry_.total("pdp", "mmu.drops"), 2 * before);
+  // Gauges max-merge instead: the high-water mark is unchanged.
+  for (const auto& [key, gauge] : registry_.gauges()) {
+    EXPECT_EQ(gauge.value(), gauge.peak()) << key.subsystem << "." << key.name;
+  }
+}
+
+}  // namespace
+}  // namespace netseer

@@ -1,0 +1,111 @@
+#include "telemetry/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace netseer::telemetry {
+namespace {
+
+Registry populated() {
+  Registry reg;
+  reg.counter("pdp", "mmu.drops", 1).add(7);
+  reg.counter("sim", "events_processed").add(100);  // global: node null/empty
+  reg.gauge("core", "ring_buffer.high_water", 2).update_max(31);
+  reg.histogram("core", "cpu.batch_size", 2).record(8.0);
+  reg.histogram("core", "cpu.batch_size", 2).record(20.0);
+  return reg;
+}
+
+TEST(MetricsSnapshot, CaptureCopiesState) {
+  Registry reg = populated();
+  const auto snapshot = MetricsSnapshot::capture(reg);
+  reg.counter("pdp", "mmu.drops", 1).add(1000);  // must not affect the copy
+  EXPECT_EQ(snapshot.data().total("pdp", "mmu.drops"), 7u);
+  EXPECT_FALSE(snapshot.empty());
+  EXPECT_TRUE(MetricsSnapshot::capture(Registry{}).empty());
+}
+
+TEST(MetricsSnapshot, JsonIsWellFormedAndComplete) {
+  const auto snapshot = MetricsSnapshot::capture(populated());
+  const std::string json = snapshot.to_json();
+  // Structure anchors (full parse happens in CI's bench-smoke job).
+  EXPECT_NE(json.find("\"counters\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"mmu.drops\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"node\":null"), std::string::npos);  // global series
+  EXPECT_NE(json.find("\"peak\":31"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  // Balanced braces/brackets (no truncation, no stray quotes).
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(MetricsSnapshot, CsvHasHeaderAndOneRowPerSeries) {
+  const auto snapshot = MetricsSnapshot::capture(populated());
+  const std::string csv = snapshot.to_csv();
+  std::istringstream lines(csv);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "kind,subsystem,name,node,value,peak,count,mean,min,max");
+  std::size_t rows = 0;
+  bool saw_global = false;
+  while (std::getline(lines, line)) {
+    ++rows;
+    if (line.find("counter,sim,events_processed,,") == 0) saw_global = true;
+  }
+  EXPECT_EQ(rows, 4u);  // 2 counters + 1 gauge + 1 histogram
+  EXPECT_TRUE(saw_global) << csv;
+}
+
+TEST(MetricsSnapshot, WriteFilePicksFormatByExtension) {
+  const auto snapshot = MetricsSnapshot::capture(populated());
+  const std::string json_path = ::testing::TempDir() + "netseer_snapshot_test.json";
+  const std::string csv_path = ::testing::TempDir() + "netseer_snapshot_test.csv";
+  ASSERT_TRUE(snapshot.write_file(json_path));
+  ASSERT_TRUE(snapshot.write_file(csv_path));
+  std::ifstream json_in(json_path);
+  std::ifstream csv_in(csv_path);
+  std::string json((std::istreambuf_iterator<char>(json_in)),
+                   std::istreambuf_iterator<char>());
+  std::string csv((std::istreambuf_iterator<char>(csv_in)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(json, snapshot.to_json());
+  EXPECT_EQ(csv, snapshot.to_csv());
+  std::remove(json_path.c_str());
+  std::remove(csv_path.c_str());
+}
+
+TEST(MetricsSnapshot, WriteFileFailsOnBadPath) {
+  const auto snapshot = MetricsSnapshot::capture(populated());
+  EXPECT_FALSE(snapshot.write_file("/nonexistent-dir/metrics.json"));
+}
+
+TEST(MetricsSnapshot, JsonEscapesControlAndQuoteCharacters) {
+  Registry reg;
+  reg.counter("weird\"sub", "na\\me\n", 0).add(1);
+  const std::string json = MetricsSnapshot::capture(reg).to_json();
+  EXPECT_NE(json.find("weird\\\"sub"), std::string::npos);
+  EXPECT_NE(json.find("na\\\\me\\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netseer::telemetry
