@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
 
   ExperimentConfig config;
   config.metrics = metrics.sink();
+  config.verify = verify_mode(metrics.verify_requested(), metrics.verify_strict());
   std::printf("\n  %-8s %9s %9s %9s %9s %9s %9s %9s %12s\n", "workload", "groups", "NetSeer",
               "NetSight", "EverFlow", "1:10", "1:100", "1:1000", "Ping(exist)");
   for (const auto* workload : traffic::all_workloads()) {

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
 
   ExperimentConfig config;
   config.metrics = metrics.sink();
+  config.verify = verify_mode(metrics.verify_requested(), metrics.verify_strict());
   std::printf("\n  %-8s %10s %10s %10s %10s %10s %10s %10s %10s\n", "workload", "NetSeer",
               "NetSight", "EverFlow", "1:10", "1:100", "1:1000", "Pingmesh", "SNMP");
   for (const auto* workload : traffic::all_workloads()) {

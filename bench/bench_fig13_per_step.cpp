@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
 
   ExperimentConfig config;
   config.metrics = metrics.sink();
+  config.verify = verify_mode(metrics.verify_requested(), metrics.verify_strict());
   std::printf("\n  %-8s %12s %12s %12s %12s %12s\n", "workload", "event-pkt%", "dedup-cut",
               "extract-cut", "fp-cut", "overall");
   for (const auto* workload : traffic::all_workloads()) {

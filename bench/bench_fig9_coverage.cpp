@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
 
   ExperimentConfig config;
   config.metrics = metrics.sink();
+  config.verify = verify_mode(metrics.verify_requested(), metrics.verify_strict());
   if (duration_ms) config.duration = util::milliseconds(std::atoi(duration_ms->c_str()));
 
   bool ran_any = false;

@@ -1,6 +1,8 @@
 #include "experiment.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 #include "traffic/generator.h"
 
@@ -49,6 +51,17 @@ WorkloadResult run_workload_experiment(const traffic::EmpiricalCdf& workload,
   scenarios::Harness harness{options};
   auto& tb = harness.testbed();
   auto& sim = harness.simulator();
+
+  if (config.verify != VerifyMode::kOff) {
+    verify::VerifyOptions verify_options;
+    verify_options.strict = config.verify == VerifyMode::kStrict;
+    const verify::Report report = harness.verify_deployment(verify_options);
+    if (!report.ok(verify_options.strict)) {
+      std::fputs(report.render_text().c_str(), stderr);
+      std::fprintf(stderr, "experiment aborted: deployment failed static verification\n");
+      std::exit(1);
+    }
+  }
 
   // The paper's traffic: every host talks to every other host, average
   // link utilization 70%.

@@ -52,6 +52,13 @@ struct WorkloadResult {
   std::uint64_t netseer_events_stored = 0;
 };
 
+/// Static-verification behaviour of an experiment run (--verify flags).
+enum class VerifyMode {
+  kOff = 0,  // construct and run without checking
+  kOn,       // verify the constructed deployment; abort the run on errors
+  kStrict,   // also abort on warnings
+};
+
 struct ExperimentConfig {
   std::uint64_t seed = 7;
   util::SimTime duration = util::milliseconds(20);
@@ -63,7 +70,16 @@ struct ExperimentConfig {
   /// When set, the harness's full metrics snapshot is folded in here
   /// after the run (additively — share one registry across workloads).
   telemetry::Registry* metrics = nullptr;
+  /// Statically verify the deployment before generating any traffic;
+  /// a failed verification exits the process with status 1 so CI runs
+  /// cannot silently measure an undeployable configuration.
+  VerifyMode verify = VerifyMode::kOff;
 };
+
+/// Map the shared --verify[=strict] CLI switches onto a VerifyMode.
+[[nodiscard]] inline VerifyMode verify_mode(bool requested, bool strict) {
+  return requested ? (strict ? VerifyMode::kStrict : VerifyMode::kOn) : VerifyMode::kOff;
+}
 
 /// Run the §5.2 benchmark setup on one workload: all-to-all traffic at
 /// `load`, with congestion/MMU drops arising naturally and inter-switch

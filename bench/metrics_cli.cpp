@@ -26,8 +26,35 @@ std::optional<std::string> take_flag(int& argc, char** argv, std::string_view na
   return std::nullopt;
 }
 
+std::optional<std::string> take_switch(int& argc, char** argv, std::string_view name) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::optional<std::string> value;
+    if (arg == name) {
+      value = std::string{};
+    } else if (arg.size() > name.size() + 1 && arg.substr(0, name.size()) == name &&
+               arg[name.size()] == '=') {
+      value = std::string(arg.substr(name.size() + 1));
+    } else {
+      continue;
+    }
+    for (int j = i; j + 1 <= argc; ++j) argv[j] = argv[j + 1];
+    argc -= 1;
+    return value;
+  }
+  return std::nullopt;
+}
+
 MetricsCli::MetricsCli(int& argc, char** argv) {
   if (auto path = take_flag(argc, argv, "--metrics-out")) path_ = std::move(*path);
+  if (auto mode = take_switch(argc, argv, "--verify")) {
+    verify_ = true;
+    verify_strict_ = (*mode == "strict");
+    if (!mode->empty() && !verify_strict_) {
+      std::fprintf(stderr, "ignoring unknown --verify mode '%s' (want --verify[=strict])\n",
+                   mode->c_str());
+    }
+  }
 }
 
 int MetricsCli::write() const {

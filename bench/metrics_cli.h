@@ -13,14 +13,24 @@ namespace netseer::bench {
 /// positional simplicity while sharing flags like --metrics-out.
 std::optional<std::string> take_flag(int& argc, char** argv, std::string_view name);
 
-/// The --metrics-out=<path> handling shared by every bench binary and
-/// example: construct it FIRST (it strips the flag before any other
-/// parsing), register/collect metrics during the run, and return
-/// write() from main. Without the flag it is a no-op that still lets
-/// callers populate the registry.
+/// Like take_flag but for switches that may appear bare: `--name` yields
+/// an empty string, `--name=value` yields the value. Never consumes the
+/// following argv entry.
+std::optional<std::string> take_switch(int& argc, char** argv, std::string_view name);
+
+/// The --metrics-out=<path> and --verify[=strict] handling shared by
+/// every bench binary and example: construct it FIRST (it strips the
+/// flags before any other parsing), register/collect metrics during the
+/// run, and return write() from main. Without the flags it is a no-op
+/// that still lets callers populate the registry.
 class MetricsCli {
  public:
   MetricsCli(int& argc, char** argv);
+
+  /// --verify was given: statically verify the deployment before running.
+  [[nodiscard]] bool verify_requested() const { return verify_; }
+  /// --verify=strict: also fail on warnings.
+  [[nodiscard]] bool verify_strict() const { return verify_strict_; }
 
   [[nodiscard]] telemetry::Registry& registry() { return registry_; }
   /// Registry pointer for APIs taking an optional sink; null when the
@@ -36,6 +46,8 @@ class MetricsCli {
  private:
   telemetry::Registry registry_;
   std::string path_;
+  bool verify_ = false;
+  bool verify_strict_ = false;
 };
 
 }  // namespace netseer::bench

@@ -16,7 +16,9 @@
 using namespace netseer;
 
 int main() {
-  scenarios::Harness harness{scenarios::HarnessOptions{.seed = 11}};
+  scenarios::HarnessOptions options;
+  options.seed = 11;
+  scenarios::Harness harness{options};
   auto& tb = harness.testbed();
   auto& sim = harness.simulator();
 

@@ -2,7 +2,7 @@
 // workload, and a fault from flags; run it with NetSeer deployed
 // everywhere; print what the backend knows.
 //
-//   ./build/examples/netseer_sim --topology testbed --workload web \
+//   ./build/examples/netseer_sim --topology testbed --workload web
 //       --load 0.6 --duration-ms 15 --fault lossy-link --seed 7
 //
 // Faults: none | lossy-link | blackhole | parity | acl | incast
@@ -30,6 +30,8 @@ struct Args {
   std::string fault = "lossy-link";
   std::uint64_t seed = 7;
   std::string metrics_out;  // empty = no snapshot
+  bool verify = false;         // statically verify before running
+  bool verify_strict = false;  // fail on warnings too
 };
 
 const traffic::EmpiricalCdf* workload_by_name(const std::string& name) {
@@ -59,8 +61,12 @@ bool parse_args(int argc, char** argv, Args& args) {
       if (const char* v = next()) args.seed = std::strtoull(v, nullptr, 10); else return false;
     } else if (flag == "--metrics-out") {
       if (const char* v = next()) args.metrics_out = v; else return false;
-    } else if (flag.rfind("--metrics-out=", 0) == 0) {
+    } else if (flag.starts_with("--metrics-out=")) {
       args.metrics_out = flag.substr(std::strlen("--metrics-out="));
+    } else if (flag == "--verify") {
+      args.verify = true;
+    } else if (flag == "--verify=strict") {
+      args.verify = args.verify_strict = true;
     } else if (flag == "--help" || flag == "-h") {
       return false;
     } else {
@@ -76,6 +82,7 @@ void usage() {
   std::puts("            --load <0..1> --duration-ms <n> --seed <n>");
   std::puts("            --fault none|lossy-link|blackhole|parity|acl|incast");
   std::puts("            --metrics-out <path.json|path.csv>   write a metrics snapshot");
+  std::puts("            --verify[=strict]   statically verify the deployment before running");
 }
 
 }  // namespace
@@ -97,7 +104,7 @@ int main(int argc, char** argv) {
   options.seed = args.seed;
   options.topo.host_rate = util::BitRate::gbps(5);
   options.topo.fabric_rate = util::BitRate::gbps(20);
-  if (args.topology.rfind("fat", 0) == 0) {
+  if (args.topology.starts_with("fat")) {
     const int k = std::atoi(args.topology.c_str() + 3);
     if (k < 2 || k % 2) {
       std::fprintf(stderr, "bad fat-tree arity in '%s'\n", args.topology.c_str());
@@ -116,6 +123,15 @@ int main(int argc, char** argv) {
   scenarios::Harness harness{options};
   auto& tb = harness.testbed();
   const auto duration = util::milliseconds(args.duration_ms);
+
+  if (args.verify) {
+    verify::VerifyOptions verify_options;
+    verify_options.strict = args.verify_strict;
+    const verify::Report report = harness.verify_deployment(verify_options);
+    std::fprintf(stderr, "static verification (%zu switches): %s",
+                 tb.all_switches().size(), report.render_text().c_str());
+    if (!report.ok(args.verify_strict)) return 1;
+  }
 
   traffic::GeneratorConfig gen;
   gen.sizes = workload;

@@ -14,7 +14,9 @@
 using namespace netseer;
 
 int main() {
-  scenarios::Harness harness{scenarios::HarnessOptions{.seed = 21}};
+  scenarios::HarnessOptions options;
+  options.seed = 21;
+  scenarios::Harness harness{options};
   auto& tb = harness.testbed();
   auto& sim = harness.simulator();
 

@@ -1,11 +1,27 @@
 #include "fabric/fat_tree.h"
 
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 
 namespace netseer::fabric {
 
 namespace {
+
+/// printf-style device names ("agg0-1", "h0-1-7"). GCC 12's -Wrestrict
+/// misfires on chained operator+ over std::to_string temporaries, so the
+/// names are formatted into a bounded buffer instead.
+std::string device_name(const char* format, int a, int b = -1, int c = -1) {
+  char buf[48];  // worst case: three full 10-digit ints plus separators
+  if (c >= 0) {
+    std::snprintf(buf, sizeof(buf), format, a, b, c);
+  } else if (b >= 0) {
+    std::snprintf(buf, sizeof(buf), format, a, b);
+  } else {
+    std::snprintf(buf, sizeof(buf), format, a);
+  }
+  return buf;
+}
 
 pdp::SwitchConfig switch_config(const TestbedConfig& config, int num_ports) {
   pdp::SwitchConfig sc;
@@ -29,16 +45,16 @@ Testbed make_testbed(const TestbedConfig& config, std::uint64_t seed) {
   const auto sc = switch_config(config, ports_needed);
 
   for (int c = 0; c < config.num_cores; ++c) {
-    tb.cores.push_back(&net.add_switch("core" + std::to_string(c), sc));
+    tb.cores.push_back(&net.add_switch(device_name("core%d", c), sc));
   }
   for (int p = 0; p < config.num_pods; ++p) {
     for (int a = 0; a < config.aggs_per_pod; ++a) {
       tb.aggs.push_back(
-          &net.add_switch("agg" + std::to_string(p) + "-" + std::to_string(a), sc));
+          &net.add_switch(device_name("agg%d-%d", p, a), sc));
     }
     for (int t = 0; t < config.tors_per_pod; ++t) {
       tb.tors.push_back(
-          &net.add_switch("tor" + std::to_string(p) + "-" + std::to_string(t), sc));
+          &net.add_switch(device_name("tor%d-%d", p, t), sc));
     }
   }
 
@@ -77,9 +93,8 @@ Testbed make_testbed(const TestbedConfig& config, std::uint64_t seed) {
         const auto addr = packet::Ipv4Addr::from_octets(
             10, static_cast<std::uint8_t>(p), static_cast<std::uint8_t>(t),
             static_cast<std::uint8_t>(h + 1));
-        auto& host = net.add_host(
-            "h" + std::to_string(p) + "-" + std::to_string(t) + "-" + std::to_string(h),
-            addr, config.host_rate);
+        auto& host =
+            net.add_host(device_name("h%d-%d-%d", p, t, h), addr, config.host_rate);
         net.connect_host(tor, static_cast<util::PortId>(h), host, config.link_delay);
         tb.hosts.push_back(&host);
       }

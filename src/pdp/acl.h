@@ -79,6 +79,13 @@ class AclTable {
 
   [[nodiscard]] std::size_t size() const { return rules_.size(); }
 
+  /// Visit every rule in priority (evaluation) order — the order
+  /// evaluate() consults them, so index 0 is the highest priority.
+  template <typename Fn>
+  void for_each_rule(Fn&& fn) const {
+    for (const auto& m : rules_) fn(m.rule);
+  }
+
  private:
   struct Match {
     AclRule rule;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "util/logging.h"
+
 namespace netseer::pdp {
 
 const char* to_string(Resource resource) {
@@ -20,22 +22,45 @@ const char* to_string(Resource resource) {
 }
 
 void ResourceModel::add(const std::string& component, Resource resource, double fraction) {
+  const double before = raw_total(resource);
+  bool found = false;
   for (auto& c : components_) {
     if (c.name == component) {
       c.usage[static_cast<std::size_t>(resource)] += fraction;
-      return;
+      found = true;
+      break;
     }
   }
-  Component c;
-  c.name = component;
-  c.usage[static_cast<std::size_t>(resource)] = fraction;
-  components_.push_back(std::move(c));
+  if (!found) {
+    Component c;
+    c.name = component;
+    c.usage[static_cast<std::size_t>(resource)] = fraction;
+    components_.push_back(std::move(c));
+  }
+  // Dynamic overflow detection: the moment a class crosses 100% of the
+  // chip, count it (telemetry exports the counter) and log the culprit.
+  const double after = before + fraction;
+  if (before <= 1.0 && after > 1.0) {
+    ++overflows_[static_cast<std::size_t>(resource)];
+    NETSEER_LOG_WARN("resource overflow: %s at %.1f%% of chip after component '%s'",
+                     to_string(resource), 100.0 * after, component.c_str());
+  }
 }
 
 double ResourceModel::total(Resource resource) const {
+  return std::clamp(raw_total(resource), 0.0, 1.0);
+}
+
+double ResourceModel::raw_total(Resource resource) const {
   double total = 0.0;
   for (const auto& c : components_) total += c.usage[static_cast<std::size_t>(resource)];
-  return std::clamp(total, 0.0, 1.0);
+  return total;
+}
+
+std::uint64_t ResourceModel::total_overflows() const {
+  std::uint64_t total = 0;
+  for (const auto count : overflows_) total += count;
+  return total;
 }
 
 double ResourceModel::component_usage(const std::string& component, Resource resource) const {

@@ -35,11 +35,26 @@ class ResourceModel {
     std::array<double, kNumResources> usage{};  // fraction of chip, 0..1
   };
 
-  /// Declare (or extend) a component's usage of one resource.
+  /// Declare (or extend) a component's usage of one resource. Crossing
+  /// 100% of a chip resource is recorded as an overflow (per resource
+  /// class) and logged — the telemetry layer exports these counters so
+  /// runs can assert zero overflows (see telemetry::collect).
   void add(const std::string& component, Resource resource, double fraction);
 
   /// Total usage of `resource` across all components, clamped to [0, 1].
   [[nodiscard]] double total(Resource resource) const;
+
+  /// Unclamped total usage of `resource` — above 1.0 when the
+  /// configuration does not fit the chip. The static verifier (and the
+  /// overflow counters) check this, not the clamped report value.
+  [[nodiscard]] double raw_total(Resource resource) const;
+
+  /// Times add() pushed `resource` past 100% of the chip.
+  [[nodiscard]] std::uint64_t overflows(Resource resource) const {
+    return overflows_[static_cast<std::size_t>(resource)];
+  }
+  /// Sum of overflows() over every resource class.
+  [[nodiscard]] std::uint64_t total_overflows() const;
 
   /// Usage of `resource` by one component (0 when unknown).
   [[nodiscard]] double component_usage(const std::string& component, Resource resource) const;
@@ -51,6 +66,7 @@ class ResourceModel {
 
  private:
   std::vector<Component> components_;
+  std::array<std::uint64_t, kNumResources> overflows_{};
 };
 
 /// SRAM cost model helpers used to derive fractions from configuration.

@@ -81,7 +81,9 @@ class Switch : public net::Node {
 
   // ---- Control plane state ----------------------------------------------
   [[nodiscard]] LpmTable& routes() { return routes_; }
+  [[nodiscard]] const LpmTable& routes() const { return routes_; }
   [[nodiscard]] AclTable& acl() { return acl_; }
+  [[nodiscard]] const AclTable& acl() const { return acl_; }
   [[nodiscard]] Mmu& mmu() { return mmu_; }
   [[nodiscard]] const Mmu& mmu() const { return mmu_; }
 

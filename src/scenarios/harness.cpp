@@ -113,8 +113,16 @@ void Harness::run_and_settle(util::SimTime until) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
 }
 
+verify::Report Harness::verify_deployment(const verify::VerifyOptions& options) const {
+  return verify::verify_testbed(testbed_, options_.netseer, options);
+}
+
 void Harness::collect_metrics(telemetry::Registry& registry) const {
-  for (const auto* sw : testbed_.all_switches()) telemetry::collect(registry, *sw);
+  for (const auto* sw : testbed_.all_switches()) {
+    telemetry::collect(registry, *sw);
+    telemetry::collect(registry, verify::build_resource_model(*sw, options_.netseer),
+                       sw->id());
+  }
   for (const auto& app : apps_) telemetry::collect(registry, *app);
   if (collector_) telemetry::collect(registry, *collector_);
   if (store_) telemetry::collect(registry, *store_);

@@ -16,6 +16,7 @@
 #include "monitors/snmp.h"
 #include "telemetry/metrics.h"
 #include "traffic/generator.h"
+#include "verify/verifier.h"
 
 namespace netseer::scenarios {
 
@@ -83,10 +84,21 @@ class Harness {
   /// Aggregate funnel stats over all switches (Fig. 13 numerators).
   [[nodiscard]] core::FunnelStats total_funnel() const;
 
+  /// Statically verify the constructed deployment (resource fitting,
+  /// stage hazards, recirculation termination, ACL shadowing, capacity
+  /// proofs) without running it — the --verify[=strict] entry point of
+  /// the experiment drivers. Reflects the CURRENT control-plane state,
+  /// so a fault that installs ACL rules mid-run changes the result.
+  [[nodiscard]] verify::Report verify_deployment(
+      const verify::VerifyOptions& options = {}) const;
+
   /// Fold every layer's counters (switches, NetSeer apps, collector,
   /// store, simulator) into `registry` — the testbed-wide metrics
   /// snapshot behind every --metrics-out flag. Additive: safe to call
   /// once per harness across several harnesses sharing one registry.
+  /// Includes each switch's Fig. 7 resource model, whose overflow
+  /// counters let smoke runs assert the deployment never exceeded a
+  /// chip budget.
   void collect_metrics(telemetry::Registry& registry) const;
 
   /// Wall-clock seconds spent inside run_and_settle so far.

@@ -5,6 +5,7 @@
 #include "backend/collector.h"
 #include "backend/event_store.h"
 #include "core/netseer_app.h"
+#include "pdp/resources.h"
 #include "pdp/switch.h"
 #include "sim/simulator.h"
 
@@ -70,6 +71,24 @@ void collect(Registry& registry, const pdp::Switch& sw) {
   registry.counter(kPdp, "mmu.pfc_pauses", node).add(mmu.pauses_generated());
   registry.counter(kPdp, "mmu.pfc_resumes", node).add(mmu.resumes_generated());
   registry.gauge(kPdp, "mmu.ingress_peak_bytes", node).update_max(mmu.peak_ingress_bytes());
+}
+
+void collect(Registry& registry, const pdp::ResourceModel& model, util::NodeId node) {
+  std::uint64_t overflow_total = 0;
+  for (std::size_t i = 0; i < pdp::kNumResources; ++i) {
+    const auto resource = static_cast<pdp::Resource>(i);
+    const std::string name = pdp::to_string(resource);
+    // Utilization in basis points of the chip, unclamped: 10000 = full.
+    registry.gauge(kPdp, "resources.usage_bp." + name, node)
+        .update_max(static_cast<std::int64_t>(model.raw_total(resource) * 10000.0));
+    const auto overflows = model.overflows(resource);
+    overflow_total += overflows;
+    if (overflows > 0) {
+      registry.counter(kPdp, "resources.overflows." + name, node).add(overflows);
+    }
+  }
+  // Always emitted, so "zero overflows" is assertable from a snapshot.
+  registry.counter(kPdp, "resources.overflows", node).add(overflow_total);
 }
 
 void collect(Registry& registry, const core::NetSeerApp& app) {

@@ -4,6 +4,7 @@
 
 namespace netseer::pdp {
 class Switch;
+class ResourceModel;
 }
 namespace netseer::core {
 class NetSeerApp;
@@ -28,6 +29,13 @@ namespace netseer::telemetry {
 /// enqueue/drop/occupancy-peak, per-stage table hits, PFC generation,
 /// port totals. Node = the switch's id.
 void collect(Registry& registry, const pdp::Switch& sw);
+
+/// Subsystem "pdp": per-resource-class chip utilization in basis points
+/// (gauge, max-merged) and overflow counters — the number of times a
+/// component pushed a resource class past 100% of the chip. The series
+/// "resources.overflows" is always present so smoke runs can assert it
+/// is zero. Node = the owning switch's id.
+void collect(Registry& registry, const pdp::ResourceModel& model, util::NodeId node);
 
 /// Subsystem "core": group-cache hit/miss/evict, ring-buffer (event
 /// stack) high-water & overflow, CEBP recirculations, PCIe bytes,

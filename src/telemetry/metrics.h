@@ -9,6 +9,7 @@
 
 #include "util/ids.h"
 #include "util/stats.h"
+#include "util/thread_annotations.h"
 
 namespace netseer::telemetry {
 
@@ -95,37 +96,82 @@ struct MetricKey {
 };
 
 /// The registry: owns every metric cell. Registration (first lookup of a
-/// key) allocates; after that, callers hold references and mutate them
-/// allocation-free. Deliberately not thread-safe — the simulator is
-/// single-threaded, and so is every consumer in this repo.
+/// key) allocates under the registry mutex, so concurrent collectors can
+/// share one registry; after that, callers hold references and mutate
+/// their cells allocation- and lock-free. That makes cell MUTATION a
+/// single-writer contract (the simulator is single-threaded, as is every
+/// collector in this repo) while REGISTRATION and snapshotting are safe
+/// from any thread.
 class Registry {
  public:
+  Registry() = default;
+  /// Deep copy taken under the source's lock — MetricsSnapshot::capture
+  /// copies a live registry by value.
+  Registry(const Registry& other) : Registry() { *this = other; }
+  Registry& operator=(const Registry& other) NETSEER_EXCLUDES(mu_) {
+    if (this == &other) return *this;
+    // Copy the source under its lock, then swap in under ours; never
+    // hold both (no ordering deadlock on concurrent cross-assignment).
+    std::map<MetricKey, Counter> counters;
+    std::map<MetricKey, Gauge> gauges;
+    std::map<MetricKey, Histogram> histograms;
+    {
+      util::MutexLock lock(other.mu_);
+      counters = other.counters_;
+      gauges = other.gauges_;
+      histograms = other.histograms_;
+    }
+    util::MutexLock lock(mu_);
+    counters_ = std::move(counters);
+    gauges_ = std::move(gauges);
+    histograms_ = std::move(histograms);
+    return *this;
+  }
+
   Counter& counter(std::string_view subsystem, std::string_view name,
-                   util::NodeId node = util::kInvalidNode) {
+                   util::NodeId node = util::kInvalidNode) NETSEER_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return counters_[key(subsystem, name, node)];
   }
   Gauge& gauge(std::string_view subsystem, std::string_view name,
-               util::NodeId node = util::kInvalidNode) {
+               util::NodeId node = util::kInvalidNode) NETSEER_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return gauges_[key(subsystem, name, node)];
   }
   Histogram& histogram(std::string_view subsystem, std::string_view name,
-                       util::NodeId node = util::kInvalidNode) {
+                       util::NodeId node = util::kInvalidNode) NETSEER_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return histograms_[key(subsystem, name, node)];
   }
 
-  [[nodiscard]] const std::map<MetricKey, Counter>& counters() const { return counters_; }
-  [[nodiscard]] const std::map<MetricKey, Gauge>& gauges() const { return gauges_; }
-  [[nodiscard]] const std::map<MetricKey, Histogram>& histograms() const { return histograms_; }
+  /// Consistent copies of the series maps (std::map iterators stay valid
+  /// across registration, but copying under the lock keeps readers
+  /// ordered against in-flight registrations).
+  [[nodiscard]] std::map<MetricKey, Counter> counters() const NETSEER_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return counters_;
+  }
+  [[nodiscard]] std::map<MetricKey, Gauge> gauges() const NETSEER_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return gauges_;
+  }
+  [[nodiscard]] std::map<MetricKey, Histogram> histograms() const NETSEER_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return histograms_;
+  }
 
-  [[nodiscard]] std::size_t size() const {
+  [[nodiscard]] std::size_t size() const NETSEER_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return counters_.size() + gauges_.size() + histograms_.size();
   }
   [[nodiscard]] bool empty() const { return size() == 0; }
 
   /// Sum of one counter series over every node it is registered for.
-  [[nodiscard]] std::uint64_t total(std::string_view subsystem, std::string_view name) const;
+  [[nodiscard]] std::uint64_t total(std::string_view subsystem, std::string_view name) const
+      NETSEER_EXCLUDES(mu_);
 
-  void clear() {
+  void clear() NETSEER_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     counters_.clear();
     gauges_.clear();
     histograms_.clear();
@@ -136,9 +182,10 @@ class Registry {
     return MetricKey{std::string(subsystem), std::string(name), node};
   }
 
-  std::map<MetricKey, Counter> counters_;
-  std::map<MetricKey, Gauge> gauges_;
-  std::map<MetricKey, Histogram> histograms_;
+  mutable util::Mutex mu_;
+  std::map<MetricKey, Counter> counters_ NETSEER_GUARDED_BY(mu_);
+  std::map<MetricKey, Gauge> gauges_ NETSEER_GUARDED_BY(mu_);
+  std::map<MetricKey, Histogram> histograms_ NETSEER_GUARDED_BY(mu_);
 };
 
 }  // namespace netseer::telemetry

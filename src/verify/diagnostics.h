@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace netseer::verify {
+
+enum class Severity : std::uint8_t {
+  kWarning = 0,  // suspicious but deployable (strict mode promotes to error)
+  kError,        // the configuration cannot be deployed safely
+};
+
+[[nodiscard]] const char* to_string(Severity severity);
+
+/// One finding of a verification pass. Every field that names a pipeline
+/// object (switch, component, resource) is filled whenever it is known,
+/// so CI can diff findings structurally instead of by message text.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string pass;         // "resources", "hazards", "recirculation", "acl", "capacity"
+  std::string switch_name;  // empty for fabric-wide findings
+  util::NodeId switch_id = util::kInvalidNode;
+  std::string component;    // table / register array / resource class
+  std::string message;
+  /// Quantitative payload: measured value vs the budget it violates
+  /// (both 0 for purely structural findings).
+  double measured = 0.0;
+  double limit = 0.0;
+};
+
+/// The result of running one or more passes: an ordered list of
+/// diagnostics plus pass bookkeeping for the summary line.
+class Report {
+ public:
+  void add(Diagnostic diagnostic);
+  /// Record that a pass ran (even if it found nothing), for the summary.
+  void mark_pass(const std::string& pass);
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  [[nodiscard]] std::size_t error_count() const;
+  [[nodiscard]] std::size_t warning_count() const;
+  [[nodiscard]] const std::vector<std::string>& passes_run() const { return passes_; }
+
+  /// Deployable? Errors always fail; `strict` also fails on warnings.
+  [[nodiscard]] bool ok(bool strict = false) const;
+
+  /// Human-readable rendering: one line per diagnostic plus a summary.
+  [[nodiscard]] std::string render_text() const;
+  /// Machine-readable rendering:
+  /// {"passes":[...],"errors":N,"warnings":N,"diagnostics":[{...}]}.
+  [[nodiscard]] std::string render_json() const;
+
+  /// Merge another report (pass list is concatenated, duplicates kept).
+  void merge(const Report& other);
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  std::vector<std::string> passes_;
+};
+
+}  // namespace netseer::verify

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/netseer_app.h"
+
+namespace netseer::verify {
+
+/// Which pipeline a match-action stage access belongs to. Tofino-class
+/// chips share MAU stages between ingress and egress, but a register
+/// array is owned by exactly one gress — accessing it from both is the
+/// cross-pipeline aliasing the hazard pass flags.
+enum class Gress : std::uint8_t { kIngress = 0, kEgress };
+
+[[nodiscard]] const char* to_string(Gress gress);
+
+/// One stage's access to a register array. A stateful ALU performs a
+/// single atomic read-modify-write per packet pass, so an RMW by ONE
+/// actor is hazard-free; separate read and write accesses (or two
+/// actors touching the same array in the same stage) are not.
+enum class AccessMode : std::uint8_t { kRead = 0, kWrite, kReadModifyWrite };
+
+[[nodiscard]] const char* to_string(AccessMode mode);
+
+struct RegisterAccess {
+  std::string array;  // logical register array, e.g. "iswitch.ring"
+  std::string actor;  // table/action performing the access
+  int stage = 0;      // MAU stage index, 0-based
+  Gress gress = Gress::kIngress;
+  AccessMode mode = AccessMode::kReadModifyWrite;
+};
+
+/// Static placement of every register array a pipeline program touches,
+/// plus the chip's stage geometry. The hazard pass runs entirely against
+/// this structure, so tests (and seeded-defect fixtures) can construct
+/// arbitrary layouts without a switch.
+struct PipelineLayout {
+  /// Tofino-class geometry: 12 shared MAU stages, 4 stateful ALUs per
+  /// stage per gress.
+  int num_stages = 12;
+  int stateful_alus_per_stage = 4;
+  std::vector<RegisterAccess> accesses;
+
+  PipelineLayout& add(std::string array, std::string actor, int stage, Gress gress,
+                      AccessMode mode) {
+    accesses.push_back(RegisterAccess{std::move(array), std::move(actor), stage, gress, mode});
+    return *this;
+  }
+};
+
+/// The stage map of the deployed NetSeer program (Fig. 6 left to right),
+/// derived from one switch's NetSeer configuration. Each logical register
+/// array lands in one stage with one owning actor; the event stack's
+/// push and pop share a single stateful ALU op (the packet type selects
+/// the operation), so it appears as one RMW actor.
+[[nodiscard]] PipelineLayout netseer_layout(const core::NetSeerConfig& config);
+
+}  // namespace netseer::verify

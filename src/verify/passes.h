@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/netseer_app.h"
+#include "pdp/resources.h"
+#include "verify/diagnostics.h"
+#include "verify/layout.h"
+
+namespace netseer::pdp {
+class Switch;
+struct AclRule;
+}  // namespace netseer::pdp
+
+namespace netseer::verify {
+
+/// Worst-case traffic assumptions the capacity proofs are evaluated
+/// against. Defaults model the paper's deployment envelope; tighten them
+/// to prove a stronger guarantee (e.g. event_fraction = 1.0 proves the
+/// pipeline survives every packet being an event — no real config does).
+struct Assumptions {
+  /// Smallest frame that can overwrite ring-buffer slots back to back.
+  std::uint32_t ring_pkt_bytes = 64;
+  /// Average size of a packet that experiences an event, used to turn
+  /// line rate into a worst-case event rate.
+  std::uint32_t event_pkt_bytes = 256;
+  /// Worst-case fraction of packets experiencing an event at peak (§4
+  /// sizes the event path for rare events; 2% is already pathological).
+  double event_fraction = 0.02;
+  /// Back-to-back losses the ring buffer must survive (Fig. 15a).
+  int consecutive_drops = 4;
+  /// Budget fraction above which a pass warns even though the hard limit
+  /// still holds.
+  double headroom = 0.9;
+};
+
+struct VerifyOptions {
+  bool strict = false;  // promote warnings to failures in ok()
+  Assumptions assumptions{};
+};
+
+// ---- Pass 1: resource fitting ---------------------------------------------
+
+/// Fold the switch's deployed state (LPM entries, ACL rules, NetSeer
+/// register arrays) plus the switch.p4 baseline through the Fig. 7
+/// resource model. This is the model the resource pass checks, and the
+/// one Harness::collect_metrics exports overflow counters from.
+[[nodiscard]] pdp::ResourceModel build_resource_model(const pdp::Switch& sw,
+                                                      const core::NetSeerConfig& config);
+
+/// Fail when any Tofino-class budget (SRAM, TCAM, xbar, hash bits, VLIW,
+/// stateful ALU, PHV) is exceeded; warn above `headroom` of a budget.
+void check_resources(Report& report, const pdp::Switch& sw, const core::NetSeerConfig& config,
+                     const VerifyOptions& options);
+
+// ---- Pass 2: stage hazard analysis ----------------------------------------
+
+/// Build the read/write dependency graph over `layout`'s register arrays
+/// and flag: same-stage RAW/WAW between distinct actors, arrays split
+/// across stages, cross-pipeline (ingress/egress) aliasing, stage-count
+/// and per-stage stateful-ALU budget violations.
+void check_hazards(Report& report, const PipelineLayout& layout, const std::string& switch_name,
+                   util::NodeId switch_id);
+
+// ---- Pass 3: recirculation termination ------------------------------------
+
+/// Prove the CEBP/internal-port recirculation loop terminates and fits:
+/// progress conditions (CEBPs exist, batches fill, latencies positive),
+/// CEBP packets fit one MTU (an oversized recirculating packet would be
+/// dropped and livelock collection), steady-state batch output and the
+/// MMU redirect ceiling fit the internal-port bandwidth.
+void check_recirculation(Report& report, const core::NetSeerConfig& config, std::uint32_t mtu,
+                         const std::string& switch_name, util::NodeId switch_id);
+
+// ---- Pass 4: ACL shadowing -------------------------------------------------
+
+/// Does rule `a` match every flow rule `b` matches? (a deployed earlier
+/// than b therefore makes b dead).
+[[nodiscard]] bool rule_covers(const pdp::AclRule& a, const pdp::AclRule& b);
+/// Do the two rules match at least one common flow?
+[[nodiscard]] bool rules_intersect(const pdp::AclRule& a, const pdp::AclRule& b);
+
+/// Flag ternary rules fully shadowed by a higher-priority entry (dead
+/// rules, error) and partially overlapping rules whose actions conflict
+/// (warning). Shadowing by a *combination* of earlier rules is not
+/// checked (that problem is NP-hard; single-rule shadowing catches the
+/// operational mistakes in practice).
+void check_acl(Report& report, const pdp::Switch& sw);
+
+// ---- Pass 5: capacity proofs ----------------------------------------------
+
+/// Worst-case flow-event rate of one switch (events/second) under
+/// `assumptions`: every port at line rate, `event_fraction` of packets
+/// eventful.
+[[nodiscard]] double worst_case_event_rate_eps(const pdp::Switch& sw,
+                                               const Assumptions& assumptions);
+
+/// Statically verify the paper's no-overflow conditions at the worst-case
+/// event rate: ring buffers sized for the notification round trip
+/// (Fig. 15a), CEBP and PCIe drains keep up with event arrival, the event
+/// stack absorbs the flush-window burst, and the event path fits the
+/// internal-port bandwidth budget.
+void check_capacity(Report& report, const pdp::Switch& sw, const core::NetSeerConfig& config,
+                    const VerifyOptions& options);
+
+}  // namespace netseer::verify

@@ -1,0 +1,41 @@
+#include "verify/verifier.h"
+
+#include "fabric/fat_tree.h"
+#include "pdp/switch.h"
+
+namespace netseer::verify {
+
+Report verify_switch(const pdp::Switch& sw, const core::NetSeerConfig& config,
+                     const VerifyOptions& options) {
+  return verify_switch(sw, config, netseer_layout(config), options);
+}
+
+Report verify_switch(const pdp::Switch& sw, const core::NetSeerConfig& config,
+                     const PipelineLayout& layout, const VerifyOptions& options) {
+  Report report;
+  check_resources(report, sw, config, options);
+  check_hazards(report, layout, sw.name(), sw.id());
+  check_recirculation(report, config, sw.config().mtu, sw.name(), sw.id());
+  check_acl(report, sw);
+  check_capacity(report, sw, config, options);
+  return report;
+}
+
+Report verify_switches(const std::vector<pdp::Switch*>& switches,
+                       const core::NetSeerConfig& config, const VerifyOptions& options) {
+  Report merged;
+  for (const pdp::Switch* sw : switches) {
+    if (sw == nullptr) continue;
+    merged.merge(verify_switch(*sw, config, options));
+  }
+  // The canonical layout is config-derived, not per-switch: checking it
+  // once per switch is redundant but keeps per-switch reports complete.
+  return merged;
+}
+
+Report verify_testbed(const fabric::Testbed& testbed, const core::NetSeerConfig& config,
+                      const VerifyOptions& options) {
+  return verify_switches(testbed.all_switches(), config, options);
+}
+
+}  // namespace netseer::verify

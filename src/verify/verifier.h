@@ -1,0 +1,45 @@
+#pragma once
+
+#include <vector>
+
+#include "core/netseer_app.h"
+#include "verify/diagnostics.h"
+#include "verify/layout.h"
+#include "verify/passes.h"
+
+namespace netseer::pdp {
+class Switch;
+}  // namespace netseer::pdp
+
+namespace netseer::fabric {
+struct Testbed;
+}  // namespace netseer::fabric
+
+namespace netseer::verify {
+
+/// Run all five passes over one constructed (not yet run) switch:
+/// resource fitting, stage hazards, recirculation termination, ACL
+/// shadowing, and the capacity proofs. The switch's deployed state
+/// (routes, ACL, links) is read but never mutated.
+[[nodiscard]] Report verify_switch(const pdp::Switch& sw, const core::NetSeerConfig& config,
+                                   const VerifyOptions& options = {});
+
+/// Same, but hazard-check a caller-supplied register-array layout
+/// instead of the canonical NetSeer one — the hook tests use to seed
+/// pipelines with deliberate same-stage conflicts.
+[[nodiscard]] Report verify_switch(const pdp::Switch& sw, const core::NetSeerConfig& config,
+                                   const PipelineLayout& layout,
+                                   const VerifyOptions& options = {});
+
+/// Verify every switch of a fabric under one shared NetSeer config;
+/// per-switch findings are merged into a single report.
+[[nodiscard]] Report verify_switches(const std::vector<pdp::Switch*>& switches,
+                                     const core::NetSeerConfig& config,
+                                     const VerifyOptions& options = {});
+
+/// Convenience: verify all switches of a constructed testbed/fat-tree.
+[[nodiscard]] Report verify_testbed(const fabric::Testbed& testbed,
+                                    const core::NetSeerConfig& config,
+                                    const VerifyOptions& options = {});
+
+}  // namespace netseer::verify

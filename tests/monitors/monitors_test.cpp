@@ -248,7 +248,9 @@ TEST(SamplingTest, RateControlsCongestionCoverage) {
     rig.send_burst(40, 2000 + s, 1400);
     for (int i = 0; i < 40; ++i) {
       rig.h3->send(
-          packet::make_tcp(FlowKey{rig.h3->addr(), rig.h2->addr(), 6, 2000 + s, 80}, 1400));
+          packet::make_tcp(FlowKey{rig.h3->addr(), rig.h2->addr(), 6,
+                                   static_cast<std::uint16_t>(2000 + s), 80},
+                           1400));
     }
   }
   rig.finish();
@@ -316,7 +318,9 @@ TEST(OverheadComparison, NetSeerOrdersOfMagnitudeBelowNetSight) {
     rig.send_burst(40, 2000 + s, 1400);
     for (int i = 0; i < 40; ++i) {
       rig.h3->send(
-          packet::make_tcp(FlowKey{rig.h3->addr(), rig.h2->addr(), 6, 2000 + s, 80}, 1400));
+          packet::make_tcp(FlowKey{rig.h3->addr(), rig.h2->addr(), 6,
+                                   static_cast<std::uint16_t>(2000 + s), 80},
+                           1400));
     }
   }
   rig.finish();

@@ -1,0 +1,112 @@
+#include "verify/diagnostics.h"
+
+#include <gtest/gtest.h>
+
+namespace netseer::verify {
+namespace {
+
+Diagnostic make(Severity severity, std::string pass, std::string message) {
+  Diagnostic d;
+  d.severity = severity;
+  d.pass = std::move(pass);
+  d.message = std::move(message);
+  return d;
+}
+
+TEST(ReportTest, EmptyReportIsOkEvenInStrictMode) {
+  Report report;
+  EXPECT_TRUE(report.ok(false));
+  EXPECT_TRUE(report.ok(true));
+  EXPECT_EQ(report.error_count(), 0u);
+  EXPECT_EQ(report.warning_count(), 0u);
+  EXPECT_NE(report.render_text().find("0 error(s), 0 warning(s) across 0 pass(es)"),
+            std::string::npos);
+}
+
+TEST(ReportTest, ErrorsAlwaysFail) {
+  Report report;
+  report.add(make(Severity::kError, "acl", "dead rule"));
+  EXPECT_FALSE(report.ok(false));
+  EXPECT_FALSE(report.ok(true));
+  EXPECT_EQ(report.error_count(), 1u);
+  EXPECT_EQ(report.warning_count(), 0u);
+}
+
+TEST(ReportTest, WarningsOnlyFailInStrictMode) {
+  Report report;
+  report.add(make(Severity::kWarning, "capacity", "near the bound"));
+  EXPECT_TRUE(report.ok(false));
+  EXPECT_FALSE(report.ok(true));
+  EXPECT_EQ(report.error_count(), 0u);
+  EXPECT_EQ(report.warning_count(), 1u);
+}
+
+TEST(ReportTest, MarkPassDeduplicates) {
+  Report report;
+  report.mark_pass("resources");
+  report.mark_pass("capacity");
+  report.mark_pass("resources");
+  ASSERT_EQ(report.passes_run().size(), 2u);
+  EXPECT_EQ(report.passes_run()[0], "resources");
+  EXPECT_EQ(report.passes_run()[1], "capacity");
+}
+
+TEST(ReportTest, MergeConcatenatesDiagnosticsAndDedupesPasses) {
+  Report a;
+  a.mark_pass("acl");
+  a.add(make(Severity::kError, "acl", "dead rule"));
+
+  Report b;
+  b.mark_pass("acl");
+  b.mark_pass("capacity");
+  b.add(make(Severity::kWarning, "capacity", "near the bound"));
+
+  a.merge(b);
+  EXPECT_EQ(a.diagnostics().size(), 2u);
+  EXPECT_EQ(a.error_count(), 1u);
+  EXPECT_EQ(a.warning_count(), 1u);
+  ASSERT_EQ(a.passes_run().size(), 2u);
+  EXPECT_EQ(a.passes_run()[1], "capacity");
+}
+
+TEST(ReportTest, RenderTextIncludesSwitchComponentAndBudget) {
+  Report report;
+  report.mark_pass("resources");
+  Diagnostic d = make(Severity::kError, "resources", "TCAM budget exceeded");
+  d.switch_name = "tor0-0";
+  d.component = "TCAM";
+  d.measured = 1.074;
+  d.limit = 1.0;
+  report.add(std::move(d));
+
+  const std::string text = report.render_text();
+  EXPECT_NE(text.find("error [resources] tor0-0 TCAM: TCAM budget exceeded"),
+            std::string::npos);
+  EXPECT_NE(text.find("(measured 1.074, limit 1)"), std::string::npos);
+  EXPECT_NE(text.find("1 error(s), 0 warning(s) across 1 pass(es)"), std::string::npos);
+}
+
+TEST(ReportTest, RenderJsonEscapesAndStructures) {
+  Report report;
+  report.mark_pass("acl");
+  Diagnostic d = make(Severity::kWarning, "acl", "message with \"quotes\"\nand newline");
+  d.switch_name = "tor0-0";
+  d.switch_id = 7;
+  report.add(std::move(d));
+
+  const std::string json = report.render_json();
+  EXPECT_NE(json.find("\"passes\": [\"acl\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"errors\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"warnings\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"switch_id\": 7"), std::string::npos);
+  EXPECT_NE(json.find("message with \\\"quotes\\\"\\nand newline"), std::string::npos);
+}
+
+TEST(ReportTest, RenderJsonEmitsNullForUnknownSwitchId) {
+  Report report;
+  report.add(make(Severity::kError, "capacity", "fabric-wide finding"));
+  EXPECT_NE(report.render_json().find("\"switch_id\": null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netseer::verify

@@ -1,0 +1,58 @@
+// Golden guarantee: every topology this repo ships, deployed with the
+// default NetSeer configuration, verifies clean under --strict. If a
+// future change to the defaults (ring sizing, CEBP parameters, cache
+// geometry) breaks a deployability invariant, these tests name the
+// diagnostic instead of letting the regression ship silently.
+#include <gtest/gtest.h>
+
+#include "fabric/fat_tree.h"
+#include "verify/verifier.h"
+
+namespace netseer::verify {
+namespace {
+
+void expect_clean(const fabric::Testbed& tb, const char* what) {
+  VerifyOptions options;
+  options.strict = true;
+  const Report report = verify_testbed(tb, core::NetSeerConfig{}, options);
+  EXPECT_TRUE(report.ok(true)) << what << ":\n" << report.render_text();
+  EXPECT_TRUE(report.diagnostics().empty()) << what << ":\n" << report.render_text();
+  // All five passes ran.
+  EXPECT_EQ(report.passes_run().size(), 5u);
+}
+
+TEST(GoldenVerifyTest, TestbedVerifiesCleanStrict) {
+  expect_clean(fabric::make_testbed(), "testbed");
+}
+
+TEST(GoldenVerifyTest, FatTree4VerifiesCleanStrict) {
+  expect_clean(fabric::make_fat_tree(4), "fat4");
+}
+
+TEST(GoldenVerifyTest, FatTree6VerifiesCleanStrict) {
+  expect_clean(fabric::make_fat_tree(6), "fat6");
+}
+
+TEST(GoldenVerifyTest, GoldenSummaryLineIsStable) {
+  const fabric::Testbed tb = fabric::make_testbed();
+  const Report report = verify_testbed(tb, core::NetSeerConfig{}, VerifyOptions{});
+  EXPECT_EQ(report.render_text(), "0 error(s), 0 warning(s) across 5 pass(es)\n");
+}
+
+TEST(GoldenVerifyTest, VerifySwitchesSkipsNulls) {
+  const fabric::Testbed tb = fabric::make_testbed();
+  std::vector<pdp::Switch*> with_null = tb.all_switches();
+  with_null.push_back(nullptr);
+  const Report report = verify_switches(with_null, core::NetSeerConfig{}, VerifyOptions{});
+  EXPECT_TRUE(report.ok(true)) << report.render_text();
+}
+
+TEST(GoldenVerifyTest, SingleSwitchOverloadMatchesTestbedResult) {
+  const fabric::Testbed tb = fabric::make_testbed();
+  const Report report = verify_switch(*tb.tors[0], core::NetSeerConfig{});
+  EXPECT_TRUE(report.ok(true)) << report.render_text();
+  EXPECT_EQ(report.passes_run().size(), 5u);
+}
+
+}  // namespace
+}  // namespace netseer::verify

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "verify/passes.h"
+
+namespace netseer::verify {
+namespace {
+
+constexpr util::NodeId kSwitchId = 1;
+
+Report run(const PipelineLayout& layout) {
+  Report report;
+  check_hazards(report, layout, "sw", kSwitchId);
+  return report;
+}
+
+bool any_message_contains(const Report& report, const std::string& needle) {
+  for (const auto& d : report.diagnostics()) {
+    if (d.message.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(HazardCheckTest, DisjointRmwActorsAreHazardFree) {
+  PipelineLayout layout;
+  layout.add("a", "actor-a", 3, Gress::kIngress, AccessMode::kReadModifyWrite)
+      .add("b", "actor-b", 4, Gress::kIngress, AccessMode::kReadModifyWrite)
+      .add("c", "actor-c", 3, Gress::kEgress, AccessMode::kReadModifyWrite);
+  const Report report = run(layout);
+  EXPECT_TRUE(report.ok(true)) << report.render_text();
+  EXPECT_TRUE(report.diagnostics().empty());
+}
+
+TEST(HazardCheckTest, SameStageWritesByDistinctActorsAreWaw) {
+  PipelineLayout layout;
+  layout.add("table", "owner", 3, Gress::kIngress, AccessMode::kReadModifyWrite)
+      .add("table", "rogue", 3, Gress::kIngress, AccessMode::kWrite);
+  const Report report = run(layout);
+  EXPECT_EQ(report.error_count(), 1u);
+  EXPECT_TRUE(any_message_contains(report, "WAW")) << report.render_text();
+}
+
+TEST(HazardCheckTest, SameStageReadAgainstWriteIsRaw) {
+  PipelineLayout layout;
+  layout.add("table", "writer", 5, Gress::kEgress, AccessMode::kWrite)
+      .add("table", "reader", 5, Gress::kEgress, AccessMode::kRead);
+  const Report report = run(layout);
+  EXPECT_EQ(report.error_count(), 1u);
+  EXPECT_TRUE(any_message_contains(report, "RAW")) << report.render_text();
+}
+
+TEST(HazardCheckTest, SameActorTouchingItsOwnArrayTwiceIsNotAHazard) {
+  // A stateful ALU's RMW is one atomic op; two entries by the SAME actor
+  // model e.g. predicated actions of one table, not a race.
+  PipelineLayout layout;
+  layout.add("table", "owner", 3, Gress::kIngress, AccessMode::kWrite)
+      .add("table", "owner", 3, Gress::kIngress, AccessMode::kRead);
+  EXPECT_TRUE(run(layout).diagnostics().empty());
+}
+
+TEST(HazardCheckTest, ArraySplitAcrossStagesIsFlagged) {
+  PipelineLayout layout;
+  layout.add("table", "early", 2, Gress::kIngress, AccessMode::kWrite)
+      .add("table", "late", 6, Gress::kIngress, AccessMode::kRead);
+  const Report report = run(layout);
+  EXPECT_GE(report.error_count(), 1u);
+  EXPECT_TRUE(any_message_contains(report, "different stages")) << report.render_text();
+}
+
+TEST(HazardCheckTest, CrossGressAliasingIsFlagged) {
+  // Same stage number on both gresses: not a stage split, purely the
+  // ownership violation.
+  PipelineLayout layout;
+  layout.add("table", "ingress-side", 5, Gress::kIngress, AccessMode::kReadModifyWrite)
+      .add("table", "egress-side", 5, Gress::kEgress, AccessMode::kReadModifyWrite);
+  const Report report = run(layout);
+  EXPECT_EQ(report.error_count(), 1u);
+  EXPECT_TRUE(any_message_contains(report, "aliased across ingress and egress"))
+      << report.render_text();
+}
+
+TEST(HazardCheckTest, StatefulAluBudgetPerStageIsEnforced) {
+  PipelineLayout layout;
+  for (int i = 0; i < 5; ++i) {
+    const std::string suffix = std::to_string(i);
+    layout.add("array" + suffix, "actor" + suffix, 4, Gress::kIngress,
+               AccessMode::kReadModifyWrite);
+  }
+  const Report report = run(layout);
+  ASSERT_EQ(report.error_count(), 1u);
+  const Diagnostic& d = report.diagnostics()[0];
+  EXPECT_EQ(d.component, "stage 4");
+  EXPECT_DOUBLE_EQ(d.measured, 5.0);
+  EXPECT_DOUBLE_EQ(d.limit, 4.0);
+}
+
+TEST(HazardCheckTest, ReadOnlyAccessesDoNotConsumeStatefulAlus) {
+  PipelineLayout layout;
+  layout.add("w", "writer", 4, Gress::kIngress, AccessMode::kReadModifyWrite);
+  for (int i = 0; i < 6; ++i) {
+    const std::string suffix = std::to_string(i);
+    layout.add("r" + suffix, "reader" + suffix, 4, Gress::kIngress, AccessMode::kRead);
+  }
+  EXPECT_TRUE(run(layout).diagnostics().empty());
+}
+
+TEST(HazardCheckTest, StageOutOfRangeIsFlagged) {
+  PipelineLayout layout;
+  layout.add("table", "actor", layout.num_stages, Gress::kIngress, AccessMode::kWrite);
+  const Report report = run(layout);
+  EXPECT_EQ(report.error_count(), 1u);
+  EXPECT_TRUE(any_message_contains(report, "12 stages")) << report.render_text();
+}
+
+TEST(HazardCheckTest, CanonicalNetSeerLayoutIsHazardFree) {
+  const core::NetSeerConfig config;
+  const Report report = run(netseer_layout(config));
+  EXPECT_TRUE(report.ok(true)) << report.render_text();
+}
+
+TEST(HazardCheckTest, SeededRogueWriterOnPathTableIsCaught) {
+  // The same defect the CLI's stage-hazard fixture plants.
+  const core::NetSeerConfig config;
+  PipelineLayout layout = netseer_layout(config);
+  layout.add("detect.path_table", "rogue flow sampler", 3, Gress::kIngress, AccessMode::kWrite);
+  const Report report = run(layout);
+  EXPECT_GE(report.error_count(), 1u);
+  EXPECT_TRUE(any_message_contains(report, "WAW")) << report.render_text();
+}
+
+}  // namespace
+}  // namespace netseer::verify

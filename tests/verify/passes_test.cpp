@@ -1,0 +1,346 @@
+#include <gtest/gtest.h>
+
+#include "core/event.h"
+#include "fabric/fat_tree.h"
+#include "packet/packet.h"
+#include "pdp/acl.h"
+#include "pdp/switch.h"
+#include "sim/simulator.h"
+#include "verify/passes.h"
+
+namespace netseer::verify {
+namespace {
+
+using packet::Ipv4Addr;
+using packet::Ipv4Prefix;
+
+pdp::AclRule rule_any(std::uint16_t id, bool permit) {
+  pdp::AclRule rule;
+  rule.rule_id = id;
+  rule.permit = permit;
+  return rule;
+}
+
+bool any_component_is(const Report& report, const std::string& component, Severity severity) {
+  for (const auto& d : report.diagnostics()) {
+    if (d.component == component && d.severity == severity) return true;
+  }
+  return false;
+}
+
+// ---- ACL shadowing ---------------------------------------------------------
+
+TEST(AclSemanticsTest, WildcardCoversSpecificButNotViceVersa) {
+  const pdp::AclRule any = rule_any(1, true);
+  pdp::AclRule specific = rule_any(2, false);
+  specific.src = Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 8};
+  EXPECT_TRUE(rule_covers(any, specific));
+  EXPECT_FALSE(rule_covers(specific, any));
+  EXPECT_TRUE(rules_intersect(any, specific));
+}
+
+TEST(AclSemanticsTest, ProtoWildcardCoversProtoSpecific) {
+  pdp::AclRule tcp_only = rule_any(1, false);
+  tcp_only.proto = 6;
+  const pdp::AclRule any_proto = rule_any(2, false);
+  EXPECT_TRUE(rule_covers(any_proto, tcp_only));
+  // A proto-specific rule cannot cover a proto-wildcard one.
+  EXPECT_FALSE(rule_covers(tcp_only, any_proto));
+  EXPECT_TRUE(rules_intersect(tcp_only, any_proto));
+}
+
+TEST(AclSemanticsTest, PortRangeContainmentAndDisjointness) {
+  pdp::AclRule wide = rule_any(1, false);
+  wide.dport_lo = 1000;
+  wide.dport_hi = 2000;
+  pdp::AclRule narrow = rule_any(2, false);
+  narrow.dport_lo = 1500;
+  narrow.dport_hi = 1600;
+  pdp::AclRule disjoint = rule_any(3, false);
+  disjoint.dport_lo = 5000;
+  disjoint.dport_hi = 6000;
+
+  EXPECT_TRUE(rule_covers(wide, narrow));
+  EXPECT_FALSE(rule_covers(narrow, wide));
+  EXPECT_TRUE(rules_intersect(wide, narrow));
+  EXPECT_FALSE(rules_intersect(wide, disjoint));
+}
+
+TEST(AclSemanticsTest, DisjointPrefixesNeverIntersect) {
+  pdp::AclRule a = rule_any(1, false);
+  a.dst = Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 8};
+  pdp::AclRule b = rule_any(2, true);
+  b.dst = Ipv4Prefix{Ipv4Addr::from_octets(192, 168, 0, 0), 16};
+  EXPECT_FALSE(rules_intersect(a, b));
+  EXPECT_FALSE(rule_covers(a, b));
+}
+
+class AclCheckTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+  pdp::Switch sw_{sim_, 1, "sw1", pdp::SwitchConfig{}};
+};
+
+TEST_F(AclCheckTest, CleanTableProducesNoDiagnostics) {
+  pdp::AclRule a = rule_any(1, false);
+  a.dst = Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 8};
+  pdp::AclRule b = rule_any(2, false);
+  b.dst = Ipv4Prefix{Ipv4Addr::from_octets(192, 168, 0, 0), 16};
+  sw_.acl().add_rule(a);
+  sw_.acl().add_rule(b);
+
+  Report report;
+  check_acl(report, sw_);
+  EXPECT_TRUE(report.diagnostics().empty()) << report.render_text();
+}
+
+TEST_F(AclCheckTest, FullyShadowedRuleIsAnError) {
+  sw_.acl().add_rule(rule_any(10, true));  // wildcard permit first
+  pdp::AclRule deny = rule_any(20, false);
+  deny.src = Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 8};
+  sw_.acl().add_rule(deny);
+
+  Report report;
+  check_acl(report, sw_);
+  ASSERT_EQ(report.error_count(), 1u);
+  const Diagnostic& d = report.diagnostics()[0];
+  EXPECT_EQ(d.component, "acl rule 20");
+  EXPECT_NE(d.message.find("shadowed by higher-priority rule 10"), std::string::npos);
+}
+
+TEST_F(AclCheckTest, ConflictingPartialOverlapIsAWarning) {
+  pdp::AclRule deny_net = rule_any(1, false);
+  deny_net.src = Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 8};
+  pdp::AclRule permit_ports = rule_any(2, true);
+  permit_ports.dport_lo = 80;
+  permit_ports.dport_hi = 80;
+  sw_.acl().add_rule(deny_net);
+  sw_.acl().add_rule(permit_ports);
+
+  Report report;
+  check_acl(report, sw_);
+  EXPECT_EQ(report.error_count(), 0u);
+  ASSERT_EQ(report.warning_count(), 1u);
+  EXPECT_NE(report.diagnostics()[0].message.find("conflicting actions"), std::string::npos);
+}
+
+TEST_F(AclCheckTest, ShadowingReportsOneWitnessPerDeadRule) {
+  sw_.acl().add_rule(rule_any(1, true));
+  sw_.acl().add_rule(rule_any(2, true));  // shadowed by 1 (and only reported once)
+  Report report;
+  check_acl(report, sw_);
+  EXPECT_EQ(report.error_count(), 1u);
+}
+
+// ---- Resource fitting ------------------------------------------------------
+
+class ResourceCheckTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+  pdp::Switch sw_{sim_, 1, "sw1", pdp::SwitchConfig{}};
+  core::NetSeerConfig config_;
+};
+
+TEST_F(ResourceCheckTest, DefaultDeploymentFits) {
+  Report report;
+  check_resources(report, sw_, config_, VerifyOptions{});
+  EXPECT_TRUE(report.ok(true)) << report.render_text();
+}
+
+TEST_F(ResourceCheckTest, TcamOverflowIsAnErrorNamingTheDominantConsumer) {
+  for (std::uint32_t i = 0; i < 15000; ++i) {
+    pdp::AclRule rule = rule_any(static_cast<std::uint16_t>(1000 + (i % 60000)), false);
+    rule.dst = Ipv4Prefix{Ipv4Addr{(std::uint32_t{172} << 24) | (std::uint32_t{16} << 16) | i},
+                          32};
+    sw_.acl().add_rule(rule);
+  }
+  Report report;
+  check_resources(report, sw_, config_, VerifyOptions{});
+  ASSERT_GE(report.error_count(), 1u);
+  bool found = false;
+  for (const auto& d : report.diagnostics()) {
+    if (d.component != "TCAM") continue;
+    found = true;
+    EXPECT_EQ(d.severity, Severity::kError);
+    EXPECT_GT(d.measured, 1.0);
+    EXPECT_DOUBLE_EQ(d.limit, 1.0);
+    EXPECT_NE(d.message.find("largest consumer: tables"), std::string::npos);
+  }
+  EXPECT_TRUE(found) << report.render_text();
+}
+
+TEST_F(ResourceCheckTest, NearBudgetUsageIsAWarningNotAnError) {
+  // ~12500 ternary rules land TCAM between the 90% headroom line and the
+  // hard budget.
+  for (std::uint32_t i = 0; i < 12500; ++i) {
+    pdp::AclRule rule = rule_any(static_cast<std::uint16_t>(1000 + (i % 60000)), false);
+    rule.dst = Ipv4Prefix{Ipv4Addr{(std::uint32_t{172} << 24) | (std::uint32_t{16} << 16) | i},
+                          32};
+    sw_.acl().add_rule(rule);
+  }
+  Report report;
+  check_resources(report, sw_, config_, VerifyOptions{});
+  EXPECT_EQ(report.error_count(), 0u);
+  EXPECT_TRUE(any_component_is(report, "TCAM", Severity::kWarning)) << report.render_text();
+}
+
+TEST_F(ResourceCheckTest, ModelSramGrowsWithGroupCacheEntries) {
+  const pdp::ResourceModel small = build_resource_model(sw_, config_);
+  config_.group_cache.entries *= 8;
+  const pdp::ResourceModel big = build_resource_model(sw_, config_);
+  EXPECT_GT(big.raw_total(pdp::Resource::kSram), small.raw_total(pdp::Resource::kSram));
+}
+
+// ---- Recirculation termination ---------------------------------------------
+
+class RecirculationCheckTest : public ::testing::Test {
+ protected:
+  Report run() {
+    Report report;
+    check_recirculation(report, config_, mtu_, "sw1", 1);
+    return report;
+  }
+
+  core::NetSeerConfig config_;
+  std::uint32_t mtu_ = packet::kDefaultMtu;
+};
+
+TEST_F(RecirculationCheckTest, DefaultsTerminate) {
+  const Report report = run();
+  EXPECT_TRUE(report.ok(true)) << report.render_text();
+}
+
+TEST_F(RecirculationCheckTest, ZeroCebpsNeverCollect) {
+  config_.cebp.num_cebps = 0;
+  EXPECT_TRUE(any_component_is(run(), "cebp", Severity::kError));
+}
+
+TEST_F(RecirculationCheckTest, ZeroBatchSizeLivelocks) {
+  config_.cebp.batch_size = 0;
+  EXPECT_TRUE(any_component_is(run(), "cebp", Severity::kError));
+}
+
+TEST_F(RecirculationCheckTest, ZeroRecircLatencyIsUnbounded) {
+  config_.cebp.recirc_latency = 0;
+  EXPECT_TRUE(any_component_is(run(), "cebp", Severity::kError));
+}
+
+TEST_F(RecirculationCheckTest, FullBatchMustFitTheMtu) {
+  // kHeaderSize + 100 * kWireSize = 2410 B > 1500 B MTU.
+  config_.cebp.batch_size = 100;
+  const Report report = run();
+  ASSERT_TRUE(any_component_is(report, "cebp", Severity::kError)) << report.render_text();
+  bool found = false;
+  for (const auto& d : report.diagnostics()) {
+    if (d.message.find("MTU") == std::string::npos) continue;
+    found = true;
+    EXPECT_DOUBLE_EQ(d.measured, static_cast<double>(core::EventBatch::kHeaderSize +
+                                                     100 * core::FlowEvent::kWireSize));
+    EXPECT_DOUBLE_EQ(d.limit, static_cast<double>(mtu_));
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(RecirculationCheckTest, JumboMtuAdmitsTheSameBatch) {
+  config_.cebp.batch_size = 100;
+  mtu_ = 9000;
+  EXPECT_TRUE(run().ok(true));
+}
+
+TEST_F(RecirculationCheckTest, ZeroNotifyCopiesLoseGaps) {
+  config_.interswitch.notify_copies = 0;
+  EXPECT_TRUE(any_component_is(run(), "iswitch.notify", Severity::kError));
+}
+
+TEST_F(RecirculationCheckTest, ExcessNotifyCopiesOnlyWarn) {
+  config_.interswitch.notify_copies = 9;
+  const Report report = run();
+  EXPECT_EQ(report.error_count(), 0u);
+  EXPECT_TRUE(any_component_is(report, "iswitch.notify", Severity::kWarning));
+}
+
+TEST_F(RecirculationCheckTest, ZeroMaxGapSilencesLossDetection) {
+  config_.interswitch.max_gap = 0;
+  EXPECT_TRUE(any_component_is(run(), "iswitch.rx", Severity::kError));
+}
+
+TEST_F(RecirculationCheckTest, MmuRedirectAboveInternalPortIsUnservable) {
+  config_.mmu_redirect_rate = util::BitRate::gbps(200);
+  EXPECT_TRUE(any_component_is(run(), "mmu_redirect", Severity::kError));
+}
+
+// ---- Capacity proofs -------------------------------------------------------
+
+TEST(CapacityCheckTest, WorstCaseEventRateScalesWithEventFraction) {
+  const fabric::Testbed tb = fabric::make_testbed();
+  Assumptions assumptions;
+  const double base = worst_case_event_rate_eps(*tb.tors[0], assumptions);
+  EXPECT_GT(base, 0.0);
+  assumptions.event_fraction *= 2;
+  EXPECT_DOUBLE_EQ(worst_case_event_rate_eps(*tb.tors[0], assumptions), 2 * base);
+}
+
+TEST(CapacityCheckTest, IsolatedSwitchHasZeroEventRate) {
+  sim::Simulator sim;
+  pdp::Switch sw{sim, 1, "sw1", pdp::SwitchConfig{}};
+  EXPECT_DOUBLE_EQ(worst_case_event_rate_eps(sw, Assumptions{}), 0.0);
+}
+
+TEST(CapacityCheckTest, UndersizedRingIsAnError) {
+  const fabric::Testbed tb = fabric::make_testbed();
+  core::NetSeerConfig config;
+  config.interswitch.ring_slots = 64;
+  Report report;
+  check_capacity(report, *tb.tors[0], config, VerifyOptions{});
+  ASSERT_TRUE(any_component_is(report, "iswitch.ring", Severity::kError))
+      << report.render_text();
+  for (const auto& d : report.diagnostics()) {
+    if (d.component != "iswitch.ring") continue;
+    EXPECT_DOUBLE_EQ(d.measured, 64.0);
+    EXPECT_GT(d.limit, 64.0);
+  }
+}
+
+TEST(CapacityCheckTest, ShippedRingSizeSurvivesTheNotificationRoundTrip) {
+  const fabric::Testbed tb = fabric::make_testbed();
+  Report report;
+  check_capacity(report, *tb.tors[0], core::NetSeerConfig{}, VerifyOptions{});
+  EXPECT_TRUE(report.ok(true)) << report.render_text();
+}
+
+TEST(CapacityCheckTest, StructuralZerosAreErrors) {
+  sim::Simulator sim;
+  pdp::Switch sw{sim, 1, "sw1", pdp::SwitchConfig{}};
+  core::NetSeerConfig config;
+  config.event_stack_capacity = 0;
+  config.group_cache.report_interval = 0;
+  Report report;
+  check_capacity(report, sw, config, VerifyOptions{});
+  EXPECT_TRUE(any_component_is(report, "batch.stack", Severity::kError));
+  EXPECT_TRUE(any_component_is(report, "dedup.cache", Severity::kError));
+}
+
+TEST(CapacityCheckTest, DisabledGroupCacheOnlyWarns) {
+  sim::Simulator sim;
+  pdp::Switch sw{sim, 1, "sw1", pdp::SwitchConfig{}};
+  core::NetSeerConfig config;
+  config.group_cache.entries = 0;
+  Report report;
+  check_capacity(report, sw, config, VerifyOptions{});
+  EXPECT_EQ(report.error_count(), 0u);
+  EXPECT_TRUE(any_component_is(report, "dedup.cache", Severity::kWarning));
+}
+
+TEST(CapacityCheckTest, StarvedCebpDrainCannotKeepUp) {
+  const fabric::Testbed tb = fabric::make_testbed();
+  core::NetSeerConfig config;
+  config.cebp.num_cebps = 1;
+  config.cebp.batch_size = 1;
+  config.cebp.recirc_latency = util::milliseconds(1);
+  Report report;
+  check_capacity(report, *tb.tors[0], config, VerifyOptions{});
+  EXPECT_TRUE(any_component_is(report, "cebp", Severity::kError)) << report.render_text();
+}
+
+}  // namespace
+}  // namespace netseer::verify

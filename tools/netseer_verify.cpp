@@ -1,0 +1,164 @@
+// netseer_verify — static pipeline-invariant checker. Constructs (but
+// never runs) a topology, deploys the NetSeer configuration to be
+// verified, and proves the paper's deployability invariants over it:
+// resource fitting (Fig. 7), stage hazards, recirculation termination,
+// ACL shadowing, and the no-overflow capacity conditions (§4, Fig. 15).
+//
+//   ./build/tools/netseer_verify --topology testbed            # exit 0
+//   ./build/tools/netseer_verify --fixture tcam-overflow       # exit 1
+//
+// Exit codes: 0 = verifies clean, 1 = diagnostics failed, 2 = usage.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "fabric/fat_tree.h"
+#include "packet/addr.h"
+#include "pdp/switch.h"
+#include "verify/verifier.h"
+
+using namespace netseer;
+
+namespace {
+
+struct Args {
+  std::string topology = "testbed";
+  std::string fixture;  // empty = verify the topology as shipped
+  bool json = false;
+  bool strict = false;
+};
+
+void usage() {
+  std::puts("netseer_verify [--topology testbed|fat4|fat6|fat8] [--json] [--strict]");
+  std::puts("               [--fixture shadowed-acl|tcam-overflow|undersized-ring|stage-hazard]");
+  std::puts("");
+  std::puts("Statically verifies a constructed NetSeer deployment; prints one");
+  std::puts("diagnostic per violated invariant. --fixture seeds a known defect");
+  std::puts("(used by CI to prove each verifier pass actually fires).");
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (flag == "--topology") {
+      if (const char* v = next()) args.topology = v; else return false;
+    } else if (flag == "--fixture") {
+      if (const char* v = next()) args.fixture = v; else return false;
+    } else if (flag == "--json") {
+      args.json = true;
+    } else if (flag == "--strict") {
+      args.strict = true;
+    } else {
+      if (flag != "--help" && flag != "-h") {
+        std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---- Seeded defects ---------------------------------------------------------
+// Each fixture plants exactly the class of mistake its verifier pass
+// exists to catch, on an otherwise-clean topology.
+
+/// A wildcard permit deployed above a specific deny: the deny is dead.
+void seed_shadowed_acl(pdp::Switch& sw) {
+  pdp::AclRule permit_any;
+  permit_any.rule_id = 10;
+  permit_any.permit = true;
+  sw.acl().add_rule(permit_any);
+
+  pdp::AclRule deny_specific;
+  deny_specific.rule_id = 20;
+  deny_specific.src = packet::Ipv4Prefix{packet::Ipv4Addr::from_octets(10, 0, 0, 0), 8};
+  deny_specific.permit = false;
+  sw.acl().add_rule(deny_specific);
+}
+
+/// Enough ternary rules to blow the 6.2 Mb TCAM past 100%. Disjoint /32
+/// destinations so the rules don't also shadow each other.
+void seed_tcam_overflow(pdp::Switch& sw) {
+  for (std::uint32_t i = 0; i < 15000; ++i) {
+    pdp::AclRule rule;
+    rule.rule_id = static_cast<std::uint16_t>(1000 + (i % 60000));
+    rule.dst = packet::Ipv4Prefix{
+        packet::Ipv4Addr{(std::uint32_t{172} << 24) | (std::uint32_t{16} << 16) | i}, 32};
+    rule.permit = false;
+    sw.acl().add_rule(rule);
+  }
+}
+
+/// A second actor writing the path table in its own stage: same-stage
+/// WAW with undefined intra-stage ordering.
+verify::PipelineLayout seed_stage_hazard(const core::NetSeerConfig& config) {
+  verify::PipelineLayout layout = verify::netseer_layout(config);
+  layout.add("detect.path_table", "rogue flow sampler", 3, verify::Gress::kIngress,
+             verify::AccessMode::kWrite);
+  return layout;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) {
+    usage();
+    return 2;
+  }
+
+  fabric::TestbedConfig topo;
+  fabric::Testbed tb;
+  if (args.topology == "testbed") {
+    tb = fabric::make_testbed(topo);
+  } else if (args.topology.starts_with("fat")) {
+    const int k = std::atoi(args.topology.c_str() + 3);
+    if (k < 2 || k % 2) {
+      std::fprintf(stderr, "bad fat-tree arity in '%s'\n", args.topology.c_str());
+      return 2;
+    }
+    tb = fabric::make_fat_tree(k, topo);
+  } else {
+    std::fprintf(stderr, "unknown topology '%s'\n", args.topology.c_str());
+    return 2;
+  }
+
+  core::NetSeerConfig config;
+  verify::VerifyOptions options;
+  options.strict = args.strict;
+
+  bool hazard_fixture = false;
+  if (args.fixture == "shadowed-acl") {
+    seed_shadowed_acl(*tb.tors[0]);
+  } else if (args.fixture == "tcam-overflow") {
+    seed_tcam_overflow(*tb.tors[0]);
+  } else if (args.fixture == "undersized-ring") {
+    config.interswitch.ring_slots = 64;
+  } else if (args.fixture == "stage-hazard") {
+    hazard_fixture = true;
+  } else if (!args.fixture.empty()) {
+    std::fprintf(stderr, "unknown fixture '%s'\n", args.fixture.c_str());
+    return 2;
+  }
+
+  verify::Report report;
+  if (hazard_fixture) {
+    const verify::PipelineLayout layout = seed_stage_hazard(config);
+    for (pdp::Switch* sw : tb.all_switches()) {
+      report.merge(verify::verify_switch(*sw, config, layout, options));
+    }
+  } else {
+    report = verify::verify_testbed(tb, config, options);
+  }
+
+  if (args.json) {
+    std::fputs(report.render_json().c_str(), stdout);
+  } else {
+    std::printf("netseer_verify: %s, %zu switches%s%s\n", args.topology.c_str(),
+                tb.all_switches().size(),
+                args.fixture.empty() ? "" : ", fixture ", args.fixture.c_str());
+    std::fputs(report.render_text().c_str(), stdout);
+  }
+  return report.ok(args.strict) ? 0 : 1;
+}
