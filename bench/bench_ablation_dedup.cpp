@@ -10,7 +10,7 @@
 #include <unordered_set>
 
 #include "core/group_cache.h"
-#include "metrics_cli.h"
+#include "experiment.h"
 #include "table.h"
 #include "util/hash.h"
 #include "util/rng.h"
@@ -58,12 +58,13 @@ class BloomDedup {
 }  // namespace
 
 int main(int argc, char** argv) {
-  MetricsCli metrics(argc, argv);
+  ExperimentOptions cli{"Ablation — deduplication design (group cache vs Bloom filter)"};
+  cli.parse(argc, argv);
   // Bare-GroupCache microbench: fold each cache's counters straight into
   // the registry (there is no switch/app to collect from).
-  const auto note_cache = [&metrics](const core::GroupCache& cache) {
-    if (!metrics.enabled()) return;
-    auto& reg = metrics.registry();
+  const auto note_cache = [&cli](const core::GroupCache& cache) {
+    if (!cli.metrics_enabled()) return;
+    auto& reg = cli.registry();
     reg.counter("core", "group_cache.hits").add(cache.hits());
     reg.counter("core", "group_cache.misses").add(cache.misses());
     reg.counter("core", "group_cache.offered").add(cache.offered());
@@ -162,5 +163,5 @@ int main(int argc, char** argv) {
     }
     print_note("duplicates fall steeply once the table comfortably holds the working set");
   }
-  return metrics.write();
+  return cli.write_metrics();
 }

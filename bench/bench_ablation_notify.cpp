@@ -7,7 +7,7 @@
 #include "core/netseer_app.h"
 #include "core/nic_agent.h"
 #include "fabric/network.h"
-#include "metrics_cli.h"
+#include "experiment.h"
 #include "packet/builder.h"
 #include "table.h"
 #include "telemetry/collect.h"
@@ -91,7 +91,8 @@ Outcome run(int copies, double loss_both_ways, std::uint64_t seed,
 }  // namespace
 
 int main(int argc, char** argv) {
-  MetricsCli metrics(argc, argv);
+  ExperimentOptions cli{"Ablation — loss-notification redundancy (x1/x2/x3 copies)"};
+  cli.parse(argc, argv);
   print_title("Ablation — loss-notification redundancy (x1/x2/x3 copies)");
   print_paper("three redundant copies 'to protect their arrival at the upstream switch'");
 
@@ -101,7 +102,7 @@ int main(int argc, char** argv) {
     for (const int copies : {1, 2, 3}) {
       double recovered_sum = 0, dropped_sum = 0;
       for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-        const auto outcome = run(copies, loss, seed, metrics.sink());
+        const auto outcome = run(copies, loss, seed, cli.sink());
         recovered_sum += static_cast<double>(outcome.recovered);
         dropped_sum += static_cast<double>(outcome.dropped);
       }
@@ -111,5 +112,5 @@ int main(int argc, char** argv) {
   }
   print_note("cells: dropped packets whose flow was recovered at the upstream switch.");
   print_note("Notifications cross the lossy link too; redundancy keeps recovery high.");
-  return metrics.write();
+  return cli.write_metrics();
 }

@@ -4,7 +4,7 @@
 // monitored fraction of the address space and measure report overhead
 // and coverage of monitored vs unmonitored flows.
 #include "core/netseer_app.h"
-#include "metrics_cli.h"
+#include "experiment.h"
 #include "scenarios/harness.h"
 #include "table.h"
 #include "traffic/generator.h"
@@ -102,14 +102,15 @@ Outcome run(int monitored_tors, telemetry::Registry* metrics) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  MetricsCli metrics(argc, argv);
+  ExperimentOptions cli{"Ablation — partial deployment coverage and overhead"};
+  cli.parse(argc, argv);
   print_title("Ablation — partial deployment (§2.3)");
   print_paper("monitoring only specific applications' flows still gives them full coverage");
 
   std::printf("\n  %-16s %10s %12s %14s %12s\n", "monitored ToRs", "overhead",
               "cov(monitored)", "cov(other)", "filtered ev");
   for (int tors : {4, 2, 1}) {
-    const auto outcome = run(tors, metrics.sink());
+    const auto outcome = run(tors, cli.sink());
     std::printf("  %-16d %10s %12s %14s %12llu\n", tors, pct(outcome.overhead).c_str(),
                 pct(outcome.monitored_coverage).c_str(),
                 outcome.unmonitored_coverage < 0 ? "n/a"
@@ -118,5 +119,5 @@ int main(int argc, char** argv) {
   }
   print_note("coverage of in-scope flows stays full while report overhead and event");
   print_note("volume shrink with the monitored fraction; out-of-scope events are filtered.");
-  return metrics.write();
+  return cli.write_metrics();
 }

@@ -7,7 +7,7 @@
 //  - inter-switch TX tagging+recording, the per-packet egress cost.
 #include <benchmark/benchmark.h>
 
-#include "metrics_cli.h"
+#include "experiment.h"
 
 #include "core/detect/interswitch.h"
 #include "core/event.h"
@@ -134,10 +134,13 @@ BENCHMARK(BM_FlowKeyHash);
 // reports its own timings); the flag still produces a valid snapshot so
 // every bench binary honours the same interface.
 int main(int argc, char** argv) {
-  netseer::bench::MetricsCli metrics(argc, argv);
+  netseer::bench::ExperimentOptions cli{
+      "Microbenchmarks — switch-CPU event processing hot paths"};
+  // google-benchmark owns the rest of the flag surface (--benchmark_*).
+  cli.allow_unknown().parse(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return metrics.write();
+  return cli.write_metrics();
 }

@@ -3,20 +3,19 @@
 // to its rate (1:10 > 1:100 > 1:1000); EverFlow tiny; Pingmesh detects
 // only the existence of ~0.02% of congestion events and never the flows.
 #include "experiment.h"
-#include "metrics_cli.h"
 #include "table.h"
 
 using namespace netseer;
 using namespace netseer::bench;
 
 int main(int argc, char** argv) {
-  MetricsCli metrics(argc, argv);
+  ExperimentOptions cli{"Figure 10 — congestion event coverage per monitoring system"};
+  cli.parse(argc, argv);
   print_title("Figure 10 — congestion event coverage");
   print_paper("NetSeer/NetSight 100%; sampling ~ rate; EverFlow <1%; Pingmesh existence only");
 
   ExperimentConfig config;
-  config.metrics = metrics.sink();
-  config.verify = verify_mode(metrics.verify_requested(), metrics.verify_strict());
+  cli.configure(config);
   std::printf("\n  %-8s %9s %9s %9s %9s %9s %9s %9s %12s\n", "workload", "groups", "NetSeer",
               "NetSight", "EverFlow", "1:10", "1:100", "1:1000", "Ping(exist)");
   for (const auto* workload : traffic::all_workloads()) {
@@ -29,5 +28,5 @@ int main(int argc, char** argv) {
                 pct(row.pingmesh_existence).c_str());
   }
   print_note("Pingmesh column is existence-level detection; its flow-level coverage is 0.");
-  return metrics.write();
+  return cli.write_metrics();
 }

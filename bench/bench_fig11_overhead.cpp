@@ -3,20 +3,19 @@
 // <0.01%; NetSight ~18%; EverFlow and 1:1000 sampling comparable to
 // NetSeer's order of magnitude; 1:10 sampling heavy.
 #include "experiment.h"
-#include "metrics_cli.h"
 #include "table.h"
 
 using namespace netseer;
 using namespace netseer::bench;
 
 int main(int argc, char** argv) {
-  MetricsCli metrics(argc, argv);
+  ExperimentOptions cli{"Figure 11 — overall bandwidth overhead per monitoring system"};
+  cli.parse(argc, argv);
   print_title("Figure 11 — overall bandwidth overhead (monitoring bytes / traffic bytes)");
   print_paper("NetSeer <0.01%; NetSight ~18%; sampling scales with rate");
 
   ExperimentConfig config;
-  config.metrics = metrics.sink();
-  config.verify = verify_mode(metrics.verify_requested(), metrics.verify_strict());
+  cli.configure(config);
   std::printf("\n  %-8s %10s %10s %10s %10s %10s %10s %10s %10s\n", "workload", "NetSeer",
               "NetSight", "EverFlow", "1:10", "1:100", "1:1000", "Pingmesh", "SNMP");
   for (const auto* workload : traffic::all_workloads()) {
@@ -29,5 +28,5 @@ int main(int argc, char** argv) {
                 pct(result.pingmesh_overhead).c_str(), pct(result.snmp_overhead).c_str());
   }
   print_note("NetSeer column counts the batched event reports leaving the switch CPU.");
-  return metrics.write();
+  return cli.write_metrics();
 }

@@ -5,7 +5,7 @@
 #include "core/capacity.h"
 #include "core/cebp.h"
 #include "core/event_stack.h"
-#include "metrics_cli.h"
+#include "experiment.h"
 #include "table.h"
 
 using namespace netseer;
@@ -50,7 +50,8 @@ double simulated_eps(int batch_size, telemetry::Registry* metrics) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  MetricsCli metrics(argc, argv);
+  ExperimentOptions cli{"Figure 12 — event batching capacity vs batch size"};
+  cli.parse(argc, argv);
   print_title("Figure 12 — event batching capacity vs batch size");
   print_paper("~86 Meps / 17.7 Gb/s around batch size 50-70");
 
@@ -60,11 +61,11 @@ int main(int argc, char** argv) {
   for (int batch : {1, 5, 10, 20, 30, 40, 50, 60, 70}) {
     const double model_eps = core::capacity::cebp_throughput_eps(config, batch);
     const double model_gbps = core::capacity::cebp_throughput_gbps(config, batch);
-    const double sim_eps = simulated_eps(batch, metrics.sink());
+    const double sim_eps = simulated_eps(batch, cli.sink());
     std::printf("  %-10d %12.1f %12.2f %14.1f\n", batch, model_eps / 1e6, model_gbps,
                 sim_eps / 1e6);
   }
   print_note("model: num_cebps * batch / (batch*recirc + flush); simulated: the actual");
   print_note("CebpBatcher run to saturation in virtual time.");
-  return metrics.write();
+  return cli.write_metrics();
 }

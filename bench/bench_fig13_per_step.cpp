@@ -3,20 +3,19 @@
 // volume: selection >90%, deduplication ~95%, extraction ~98%, with the
 // final report volume <0.01% of traffic.
 #include "experiment.h"
-#include "metrics_cli.h"
 #include "table.h"
 
 using namespace netseer;
 using namespace netseer::bench;
 
 int main(int argc, char** argv) {
-  MetricsCli metrics(argc, argv);
+  ExperimentOptions cli{"Figure 13 — per-step bandwidth overhead reduction"};
+  cli.parse(argc, argv);
   print_title("Figure 13 — per-step bandwidth overhead reduction");
   print_paper("event packets <10%; dedup -95%; extraction -98%; total <0.01%");
 
   ExperimentConfig config;
-  config.metrics = metrics.sink();
-  config.verify = verify_mode(metrics.verify_requested(), metrics.verify_strict());
+  cli.configure(config);
   std::printf("\n  %-8s %12s %12s %12s %12s %12s\n", "workload", "event-pkt%", "dedup-cut",
               "extract-cut", "fp-cut", "overall");
   for (const auto* workload : traffic::all_workloads()) {
@@ -50,5 +49,5 @@ int main(int argc, char** argv) {
   }
   print_note("step volumes: selected event packets -> deduped flow events ->");
   print_note("24B extracted records -> CPU-filtered batched reports.");
-  return metrics.write();
+  return cli.write_metrics();
 }

@@ -8,7 +8,7 @@
 
 #include "core/pcie.h"
 #include "core/switch_cpu.h"
-#include "metrics_cli.h"
+#include "experiment.h"
 #include "table.h"
 #include "util/rng.h"
 
@@ -57,7 +57,8 @@ double measured_cpu_meps(std::size_t flows) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  MetricsCli metrics(argc, argv);
+  ExperimentOptions cli{"Figure 14 — PCIe and switch-CPU capacity"};
+  cli.parse(argc, argv);
   print_title("Figure 14(a) — PCIe capacity vs batch size, 1 vs 2 cores");
   print_paper("batch>=20: ~9.5 Gb/s (57 Meps) @1 core, ~18 Gb/s (110 Meps) @2 cores");
 
@@ -81,11 +82,11 @@ int main(int argc, char** argv) {
   for (std::size_t flows : {1'000ul, 10'000ul, 100'000ul, 250'000ul, 500'000ul, 1'000'000ul}) {
     const double meps = measured_cpu_meps(flows);
     std::printf("  %-12zu %12.1f\n", flows, meps);
-    if (metrics.enabled()) {
-      metrics.registry().histogram("bench", "fig14.cpu_meps").record(meps);
+    if (cli.metrics_enabled()) {
+      cli.registry().histogram("bench", "fig14.cpu_meps").record(meps);
     }
   }
   print_note("absolute Meps depends on this machine; the declining shape with flow count");
   print_note("(cache misses in the FP-elimination hash map) is the figure's claim.");
-  return metrics.write();
+  return cli.write_metrics();
 }

@@ -7,7 +7,7 @@
 // protocol.
 #include "core/capacity.h"
 #include "core/detect/interswitch.h"
-#include "metrics_cli.h"
+#include "experiment.h"
 #include "packet/builder.h"
 #include "table.h"
 
@@ -51,7 +51,8 @@ std::size_t simulate_recovery(std::size_t slots, int drops, int rtt_packets) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  MetricsCli metrics(argc, argv);
+  ExperimentOptions cli{"Figure 15 — ring-buffer sizing for inter-switch drop detection"};
+  cli.parse(argc, argv);
   print_title("Figure 15(a) — minimal ring-buffer slots per port vs packet size");
   print_paper(">25 slots to recover one 1024 B dropped packet (100G link)");
 
@@ -88,13 +89,13 @@ int main(int argc, char** argv) {
   const auto half = simulate_recovery(slots_1k / 2, 1000, 24);
   std::printf("\n  cross-check @1000 drops: sized ring recovers %zu/1000, half ring %zu/1000\n",
               full, half);
-  if (metrics.enabled()) {
-    auto& reg = metrics.registry();
+  if (cli.metrics_enabled()) {
+    auto& reg = cli.registry();
     reg.counter("bench", "fig15.drops_injected").add(1000);
     reg.counter("bench", "fig15.recovered_full_ring").add(full);
     reg.counter("bench", "fig15.recovered_half_ring").add(half);
     reg.gauge("bench", "fig15.slots_for_1000_drops")
         .set(static_cast<std::int64_t>(slots_1k));
   }
-  return metrics.write();
+  return cli.write_metrics();
 }

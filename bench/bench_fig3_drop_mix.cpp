@@ -4,7 +4,7 @@
 // weight the incident scenarios) and then reproduces the *simulator's*
 // drop-type mix when the corresponding fault types are injected with
 // those frequencies.
-#include "metrics_cli.h"
+#include "experiment.h"
 #include "scenarios/harness.h"
 #include "scenarios/production_stats.h"
 #include "table.h"
@@ -14,7 +14,8 @@ using namespace netseer;
 using namespace netseer::bench;
 
 int main(int argc, char** argv) {
-  MetricsCli metrics(argc, argv);
+  ExperimentOptions cli{"Figure 3 — packet-drop mix behind NPAs, reproduced per fault class"};
+  cli.parse(argc, argv);
   print_title("Figure 3 — packet drops that cause NPAs");
   print_note("published production fractions (Alibaba tickets, not reproducible):");
   std::printf("\n  %-14s %10s %18s\n", "type", "fraction", "avg locate (min)");
@@ -93,6 +94,6 @@ int main(int argc, char** argv) {
   row("acl", acl);
   row("congestion", by_reason[static_cast<int>(pdp::DropReason::kCongestion)]);
   row("inter-switch", by_reason[static_cast<int>(pdp::DropReason::kLinkLoss)]);
-  if (metrics.enabled()) harness.collect_metrics(metrics.registry());
-  return metrics.write();
+  if (cli.metrics_enabled()) harness.collect_metrics(cli.registry());
+  return cli.write_metrics();
 }

@@ -7,7 +7,7 @@
 // and inter-switch detection.
 #include "core/capacity.h"
 #include "core/netseer_app.h"
-#include "metrics_cli.h"
+#include "experiment.h"
 #include "pdp/resources.h"
 #include "table.h"
 
@@ -16,7 +16,8 @@ using namespace netseer::bench;
 using pdp::Resource;
 
 int main(int argc, char** argv) {
-  MetricsCli metrics(argc, argv);
+  ExperimentOptions cli{"Figure 7 — PDP resource usage modeled from configuration"};
+  cli.parse(argc, argv);
   print_title("Figure 7 — PDP resource usage (modeled from configuration)");
   print_paper("all resources <20% except stateful ALU ~40%; batcher+inter-switch ~28% sALU");
 
@@ -82,18 +83,18 @@ int main(int argc, char** argv) {
     const double netseer_only =
         model.total(resource) - model.component_usage(base, resource);
     std::printf("    %-14s %5.1f%%\n", pdp::to_string(resource), 100 * netseer_only);
-    if (metrics.enabled()) {
+    if (cli.metrics_enabled()) {
       // Modeled chip fractions in percent; gauges since this is a level,
       // not an accumulating count.
       const std::string name = std::string("resources.") + pdp::to_string(resource);
-      metrics.registry().gauge("pdp", name + ".total_pct")
+      cli.registry().gauge("pdp", name + ".total_pct")
           .set(static_cast<std::int64_t>(100 * model.total(resource)));
-      metrics.registry().gauge("pdp", name + ".netseer_pct")
+      cli.registry().gauge("pdp", name + ".netseer_pct")
           .set(static_cast<std::int64_t>(100 * netseer_only));
     }
   }
   std::printf("  NetSeer stateful-ALU: batcher+inter-switch contribute %.0f%% of the chip\n",
               100 * (model.component_usage(interswitch, Resource::kStatefulAlu) +
                      model.component_usage(batching, Resource::kStatefulAlu)));
-  return metrics.write();
+  return cli.write_metrics();
 }

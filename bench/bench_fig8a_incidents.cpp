@@ -1,7 +1,7 @@
 // Figure 8(a): the five real incident replays — cause-location time with
 // NetSeer (measured in-simulation: fault onset -> first attributable
 // backend event) versus the operator hours the paper reports without it.
-#include "metrics_cli.h"
+#include "experiment.h"
 #include "scenarios/incidents.h"
 #include "table.h"
 
@@ -9,12 +9,13 @@ using namespace netseer;
 using namespace netseer::bench;
 
 int main(int argc, char** argv) {
-  MetricsCli metrics(argc, argv);
+  ExperimentOptions cli{"Figure 8(a) — incident cause-location time with vs without NetSeer"};
+  cli.parse(argc, argv);
   print_title("Figure 8(a) — incident cause-location time, with vs without NetSeer");
   print_paper("location time cut 61%-99%: e.g. #1 162min -> 14s, #3 ~17h -> 30s");
 
   scenarios::IncidentSuite suite(42);
-  suite.set_metrics(metrics.sink());
+  suite.set_metrics(cli.sink());
   const auto reports = suite.run_all();
 
   std::printf("\n  %-3s %-42s %12s %12s %14s\n", "id", "incident", "paper w/o", "paper w/",
@@ -36,5 +37,5 @@ int main(int argc, char** argv) {
   }
   print_note("measured w/ = simulated time from fault onset to the first backend event");
   print_note("naming the victim flow and faulty device (plus query round-trip in practice).");
-  return metrics.write();
+  return cli.write_metrics();
 }

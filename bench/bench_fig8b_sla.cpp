@@ -2,7 +2,7 @@
 // application, the network, or both — using host metrics alone, host
 // metrics + Pingmesh, and host metrics + NetSeer. Paper: 40.8% / 44% /
 // 97% of slow RPCs explained.
-#include "metrics_cli.h"
+#include "experiment.h"
 #include "scenarios/sla.h"
 #include "table.h"
 
@@ -10,12 +10,13 @@ using namespace netseer;
 using namespace netseer::bench;
 
 int main(int argc, char** argv) {
-  MetricsCli metrics(argc, argv);
+  ExperimentOptions cli{"Figure 8(b) — debugging SLA violations by data source"};
+  cli.parse(argc, argv);
   print_title("Figure 8(b) — debugging SLA violations by data source");
   print_paper("explained slow RPCs: host 40.8%, host+pingmesh 44%, host+netseer 97%");
 
   const auto result = scenarios::run_sla_study(
-      scenarios::SlaStudyConfig{.seed = 42, .metrics = metrics.sink()});
+      scenarios::SlaStudyConfig{.seed = 42, .metrics = cli.sink()});
 
   std::printf("\n  %zu RPCs issued, %zu violated the SLA\n", result.total_rpcs,
               result.slow_rpcs);
@@ -31,5 +32,5 @@ int main(int argc, char** argv) {
               100 * result.host_netseer_accuracy);
   print_note("host metrics are window-aggregated (the paper's 15s counters, scaled);");
   print_note("NetSeer attributes by querying the backend for each slow RPC's own flow.");
-  return metrics.write();
+  return cli.write_metrics();
 }

@@ -6,7 +6,6 @@
 #include <cstdlib>
 
 #include "experiment.h"
-#include "metrics_cli.h"
 #include "table.h"
 
 using namespace netseer;
@@ -24,26 +23,26 @@ void print_rows(const char* event, const CoverageRow& row) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Flags (all optional): --metrics-out=<path>, --workload=<name> to run
-  // a single workload (the CI bench-smoke path), --duration-ms=<n>.
-  MetricsCli metrics(argc, argv);
-  const auto only_workload = take_flag(argc, argv, "--workload");
-  const auto duration_ms = take_flag(argc, argv, "--duration-ms");
+  std::string only_workload;
+  int duration_ms = 20;
+  ExperimentOptions cli{"Figure 9 — event coverage ratios per monitoring system"};
+  cli.flag("workload", &only_workload, "run a single workload (the CI bench-smoke path)")
+      .flag("duration-ms", &duration_ms, "simulated run length per workload")
+      .parse(argc, argv);
 
   print_title("Figure 9 — event coverage ratios (flow-attributed)");
   print_paper("NetSeer & NetSight 100%; EverFlow <1%; sampling ~0 for drops");
 
   ExperimentConfig config;
-  config.metrics = metrics.sink();
-  config.verify = verify_mode(metrics.verify_requested(), metrics.verify_strict());
-  if (duration_ms) config.duration = util::milliseconds(std::atoi(duration_ms->c_str()));
+  cli.configure(config);
+  config.duration = util::milliseconds(duration_ms);
 
   bool ran_any = false;
   for (const auto* workload : traffic::all_workloads()) {
-    if (only_workload) {
+    if (!only_workload.empty()) {
       std::string lower = workload->name();
       for (auto& c : lower) c = static_cast<char>(std::tolower(c));
-      if (lower != *only_workload) continue;
+      if (lower != only_workload) continue;
     }
     ran_any = true;
     const auto result = run_workload_experiment(*workload, config);
@@ -60,9 +59,8 @@ int main(int argc, char** argv) {
     print_rows("pipeline drop", result.pipeline_drop);
   }
   if (!ran_any) {
-    std::fprintf(stderr, "unknown workload '%s'\n",
-                 only_workload ? only_workload->c_str() : "");
+    std::fprintf(stderr, "unknown workload '%s'\n", only_workload.c_str());
     return 2;
   }
-  return metrics.write();
+  return cli.write_metrics();
 }

@@ -9,7 +9,7 @@
 // paper's own production extrapolation from the per-switch ceiling.
 #include "core/netseer_app.h"
 #include "fabric/fat_tree.h"
-#include "metrics_cli.h"
+#include "experiment.h"
 #include "scenarios/harness.h"
 #include "table.h"
 #include "traffic/generator.h"
@@ -79,7 +79,8 @@ ScaleResult run_scale(int k_or_testbed, util::SimTime duration,
 }  // namespace
 
 int main(int argc, char** argv) {
-  MetricsCli metrics(argc, argv);
+  ExperimentOptions cli{"Scalability — per-switch NetSeer cost vs network size"};
+  cli.parse(argc, argv);
   print_title("Scalability — per-switch NetSeer cost vs network size");
   print_paper("distributed FET scales linearly: per-switch overhead independent of size");
 
@@ -94,7 +95,7 @@ int main(int argc, char** argv) {
                          Row{"fat-tree k=4", 4, util::milliseconds(15)},
                          Row{"fat-tree k=6", 6, util::milliseconds(10)},
                          Row{"fat-tree k=8", 8, util::milliseconds(8)}}) {
-    const auto result = run_scale(row.k, row.duration, metrics.sink());
+    const auto result = run_scale(row.k, row.duration, cli.sink());
     std::printf("  %-14s %8d %8d %12.1f %12s %16.2f\n", row.name, result.switches,
                 result.hosts, result.traffic_mb, pct(result.overhead_ratio).c_str(),
                 result.report_mbps_per_switch);
@@ -110,5 +111,5 @@ int main(int argc, char** argv) {
               per_switch_cap_mbps, total_gbps);
   std::printf("  -> %d collector servers with 100G NICs; %.2f%% of 10,000 servers\n",
               collectors, 100.0 * collectors / 10000.0);
-  return metrics.write();
+  return cli.write_metrics();
 }

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/netseer_app.h"
 #include "scenarios/harness.h"
@@ -76,10 +79,89 @@ struct ExperimentConfig {
   VerifyMode verify = VerifyMode::kOff;
 };
 
-/// Map the shared --verify[=strict] CLI switches onto a VerifyMode.
-[[nodiscard]] inline VerifyMode verify_mode(bool requested, bool strict) {
-  return requested ? (strict ? VerifyMode::kStrict : VerifyMode::kOn) : VerifyMode::kOff;
-}
+/// The single command-line surface shared by every bench binary and
+/// example. Construct with a one-line program summary, bind any
+/// binary-specific flags to variables, then call parse(), which strips
+/// everything it recognises from argv:
+///
+///   int duration_ms = 20;
+///   ExperimentOptions cli{"Figure 9 — event coverage per monitor"};
+///   cli.flag("duration-ms", &duration_ms, "simulated run length")
+///      .parse(argc, argv);
+///
+/// Three flags come built in: --metrics-out=<path> (collect a telemetry
+/// snapshot, written by write_metrics()), --verify[=strict] (statically
+/// verify deployments before running), and --help (print the
+/// synthesized usage, which lists every bound flag with its default,
+/// and exit 0). `--name value` and `--name=value` both work. An unknown
+/// flag prints the usage to stderr and exits 2, unless allow_unknown()
+/// opted into leaving unrecognised arguments in argv for a second-stage
+/// parser (google-benchmark in bench_cpu_micro).
+class ExperimentOptions {
+ public:
+  explicit ExperimentOptions(std::string summary);
+
+  ExperimentOptions& flag(std::string_view name, std::string* out, std::string_view help);
+  ExperimentOptions& flag(std::string_view name, int* out, std::string_view help);
+  ExperimentOptions& flag(std::string_view name, double* out, std::string_view help);
+  ExperimentOptions& flag(std::string_view name, std::uint64_t* out, std::string_view help);
+  /// A value-less switch: presence sets *out to true.
+  ExperimentOptions& flag(std::string_view name, bool* out, std::string_view help);
+  ExperimentOptions& allow_unknown();
+
+  /// Parse and strip recognised flags, compacting argv/argc down to
+  /// whatever remains. Bound variables keep their initial value (the
+  /// default shown by --help) when their flag is absent.
+  ExperimentOptions& parse(int& argc, char** argv);
+
+  /// The --verify[=strict] switches folded into a mode.
+  [[nodiscard]] VerifyMode verify() const {
+    return verify_requested_ ? (verify_strict_ ? VerifyMode::kStrict : VerifyMode::kOn)
+                             : VerifyMode::kOff;
+  }
+
+  [[nodiscard]] telemetry::Registry& registry() { return registry_; }
+  /// Registry pointer for APIs taking an optional sink; null when
+  /// --metrics-out was not given (skips collection on hot benches).
+  [[nodiscard]] telemetry::Registry* sink() { return metrics_enabled() ? &registry_ : nullptr; }
+  [[nodiscard]] bool metrics_enabled() const { return !metrics_path_.empty(); }
+  [[nodiscard]] const std::string& metrics_path() const { return metrics_path_; }
+
+  /// Point an experiment config at this option set (metrics sink +
+  /// verify mode) — the common prologue of the workload benches.
+  void configure(ExperimentConfig& config) {
+    config.metrics = sink();
+    config.verify = verify();
+  }
+
+  /// The synthesized --help text.
+  [[nodiscard]] std::string usage() const;
+
+  /// Write the --metrics-out snapshot if requested. Returns 0 on
+  /// success (or when disabled), 1 on I/O failure — main's exit code.
+  int write_metrics() const;
+
+ private:
+  enum class Kind { kString, kInt, kDouble, kUint64, kSwitch };
+  struct Spec {
+    std::string name;  // without the leading "--"
+    Kind kind;
+    void* out;
+    std::string help;
+  };
+
+  ExperimentOptions& add(std::string_view name, Kind kind, void* out, std::string_view help);
+  [[nodiscard]] std::string default_of(const Spec& spec) const;
+
+  std::string summary_;
+  std::string program_ = "bench";
+  std::vector<Spec> specs_;
+  telemetry::Registry registry_;
+  std::string metrics_path_;
+  bool verify_requested_ = false;
+  bool verify_strict_ = false;
+  bool allow_unknown_ = false;
+};
 
 /// Run the §5.2 benchmark setup on one workload: all-to-all traffic at
 /// `load`, with congestion/MMU drops arising naturally and inter-switch

@@ -12,10 +12,10 @@
 #include <string>
 #include <vector>
 
+#include "experiment.h"
 #include "packet/builder.h"
 #include "scenarios/harness.h"
 #include "telemetry/collect.h"
-#include "telemetry/snapshot.h"
 #include "traffic/generator.h"
 
 using namespace netseer;
@@ -29,9 +29,6 @@ struct Args {
   int duration_ms = 15;
   std::string fault = "lossy-link";
   std::uint64_t seed = 7;
-  std::string metrics_out;  // empty = no snapshot
-  bool verify = false;         // statically verify before running
-  bool verify_strict = false;  // fail on warnings too
 };
 
 const traffic::EmpiricalCdf* workload_by_name(const std::string& name) {
@@ -43,60 +40,25 @@ const traffic::EmpiricalCdf* workload_by_name(const std::string& name) {
   return nullptr;
 }
 
-bool parse_args(int argc, char** argv, Args& args) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
-    if (flag == "--topology") {
-      if (const char* v = next()) args.topology = v; else return false;
-    } else if (flag == "--workload") {
-      if (const char* v = next()) args.workload = v; else return false;
-    } else if (flag == "--load") {
-      if (const char* v = next()) args.load = std::atof(v); else return false;
-    } else if (flag == "--duration-ms") {
-      if (const char* v = next()) args.duration_ms = std::atoi(v); else return false;
-    } else if (flag == "--fault") {
-      if (const char* v = next()) args.fault = v; else return false;
-    } else if (flag == "--seed") {
-      if (const char* v = next()) args.seed = std::strtoull(v, nullptr, 10); else return false;
-    } else if (flag == "--metrics-out") {
-      if (const char* v = next()) args.metrics_out = v; else return false;
-    } else if (flag.starts_with("--metrics-out=")) {
-      args.metrics_out = flag.substr(std::strlen("--metrics-out="));
-    } else if (flag == "--verify") {
-      args.verify = true;
-    } else if (flag == "--verify=strict") {
-      args.verify = args.verify_strict = true;
-    } else if (flag == "--help" || flag == "-h") {
-      return false;
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
-      return false;
-    }
-  }
-  return true;
-}
-
-void usage() {
-  std::puts("netseer_sim --topology testbed|fat4|fat6|fat8 --workload dctcp|vl2|cache|hadoop|web");
-  std::puts("            --load <0..1> --duration-ms <n> --seed <n>");
-  std::puts("            --fault none|lossy-link|blackhole|parity|acl|incast");
-  std::puts("            --metrics-out <path.json|path.csv>   write a metrics snapshot");
-  std::puts("            --verify[=strict]   statically verify the deployment before running");
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args;
-  if (!parse_args(argc, argv, args)) {
-    usage();
-    return 2;
-  }
+  bench::ExperimentOptions cli{
+      "netseer_sim — assemble a topology, workload, and fault from flags; run it\n"
+      "with NetSeer deployed everywhere; print what the backend knows."};
+  cli.flag("topology", &args.topology, "testbed | fat4 | fat6 | fat8")
+      .flag("workload", &args.workload, "dctcp | vl2 | cache | hadoop | web")
+      .flag("load", &args.load, "average link utilization, 0..1")
+      .flag("duration-ms", &args.duration_ms, "simulated run length")
+      .flag("fault", &args.fault, "none | lossy-link | blackhole | parity | acl | incast")
+      .flag("seed", &args.seed, "simulation seed")
+      .parse(argc, argv);
+
   const auto* workload = workload_by_name(args.workload);
   if (workload == nullptr) {
-    std::fprintf(stderr, "unknown workload '%s'\n", args.workload.c_str());
-    usage();
+    std::fprintf(stderr, "unknown workload '%s'\n\n%s", args.workload.c_str(),
+                 cli.usage().c_str());
     return 2;
   }
 
@@ -124,13 +86,13 @@ int main(int argc, char** argv) {
   auto& tb = harness.testbed();
   const auto duration = util::milliseconds(args.duration_ms);
 
-  if (args.verify) {
+  if (cli.verify() != bench::VerifyMode::kOff) {
     verify::VerifyOptions verify_options;
-    verify_options.strict = args.verify_strict;
+    verify_options.strict = cli.verify() == bench::VerifyMode::kStrict;
     const verify::Report report = harness.verify_deployment(verify_options);
     std::fprintf(stderr, "static verification (%zu switches): %s",
                  tb.all_switches().size(), report.render_text().c_str());
-    if (!report.ok(args.verify_strict)) return 1;
+    if (!report.ok(verify_options.strict)) return 1;
   }
 
   traffic::GeneratorConfig gen;
@@ -242,17 +204,6 @@ int main(int argc, char** argv) {
   std::printf("\ndrop coverage vs ground truth: %.1f%% (%zu groups)\n",
               100 * scenarios::Harness::coverage(detected, actual), actual.size());
 
-  if (!args.metrics_out.empty()) {
-    telemetry::Registry registry;
-    harness.collect_metrics(registry);
-    const auto snapshot = telemetry::MetricsSnapshot::capture(registry);
-    if (!snapshot.write_file(args.metrics_out)) {
-      std::fprintf(stderr, "failed to write metrics snapshot to %s\n",
-                   args.metrics_out.c_str());
-      return 1;
-    }
-    std::fprintf(stderr, "metrics snapshot (%zu series) written to %s\n", registry.size(),
-                 args.metrics_out.c_str());
-  }
-  return 0;
+  if (cli.metrics_enabled()) harness.collect_metrics(cli.registry());
+  return cli.write_metrics();
 }

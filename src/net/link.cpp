@@ -1,5 +1,7 @@
 #include "net/link.h"
 
+#include "packet/pool.h"
+
 namespace netseer::net {
 
 void Link::send(packet::Packet&& pkt) {
@@ -30,9 +32,12 @@ void Link::send(packet::Packet&& pkt) {
 
   ++carried_;
   bytes_carried_ += pkt.wire_bytes();
-  sim_.schedule_after(delay_, [this, pkt = std::move(pkt)]() mutable {
-    peer_.receive(std::move(pkt), peer_port_);
-  });
+  // The frame rides in a pooled slot so the hop capture (this + handle)
+  // stays inside the Task's inline buffer — no heap traffic per hop.
+  sim_.schedule_after(delay_,
+                      [this, slot = packet::Pool::local().acquire(std::move(pkt))]() mutable {
+                        peer_.receive(slot.take(), peer_port_);
+                      });
 }
 
 }  // namespace netseer::net

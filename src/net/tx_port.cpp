@@ -1,5 +1,7 @@
 #include "net/tx_port.h"
 
+#include "packet/pool.h"
+
 namespace netseer::net {
 
 void TxPort::set_up(bool up) {
@@ -65,11 +67,12 @@ void TxPort::maybe_start_transmission() {
   const util::SimDuration ser = rate_.serialization_delay(pkt.wire_bytes());
   ++tx_packets_;
   tx_bytes_ += pkt.wire_bytes();
-  sim_.schedule_after(ser, [this, pkt = std::move(pkt)]() mutable {
-    busy_ = false;
-    if (out_ != nullptr && up_) out_->send(std::move(pkt));
-    maybe_start_transmission();
-  });
+  sim_.schedule_after(ser,
+                      [this, slot = packet::Pool::local().acquire(std::move(pkt))]() mutable {
+                        busy_ = false;
+                        if (out_ != nullptr && up_) out_->send(slot.take());
+                        maybe_start_transmission();
+                      });
 }
 
 }  // namespace netseer::net

@@ -1,0 +1,36 @@
+#include "packet/pool.h"
+
+namespace netseer::packet {
+
+Pool& Pool::local() {
+  static Pool pool;
+  return pool;
+}
+
+PooledPacket Pool::acquire(Packet&& pkt) {
+  ++acquires_;
+  Packet* slot;
+  if (!free_.empty()) {
+    ++reuses_;
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    const std::size_t index = slot_count_++;
+    if (index % kChunkPackets == 0) {
+      chunks_.push_back(std::make_unique<Packet[]>(kChunkPackets));
+    }
+    slot = &chunks_.back()[index % kChunkPackets];
+  }
+  *slot = std::move(pkt);
+  return PooledPacket(this, slot);
+}
+
+void Pool::release(Packet* pkt) {
+  // Drop the (possibly shared) control payload now so pooling never
+  // extends a payload's lifetime; header fields are plain values and get
+  // overwritten wholesale by the next acquire.
+  pkt->control.reset();
+  free_.push_back(pkt);
+}
+
+}  // namespace netseer::packet

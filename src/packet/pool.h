@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "packet/packet.h"
+
+namespace netseer::packet {
+
+class Pool;
+
+/// Move-only handle to a pooled in-flight Packet. Two pointers (16 bytes),
+/// so a scheduled hop capturing `this` plus a PooledPacket stays inside
+/// sim::Task's inline buffer — the frame rides the event queue without a
+/// heap allocation per hop. The slot returns to the pool when the handle
+/// dies; call take() to move the Packet out for delivery.
+class PooledPacket {
+ public:
+  PooledPacket() = default;
+  PooledPacket(PooledPacket&& other) noexcept : pool_(other.pool_), pkt_(other.pkt_) {
+    other.pool_ = nullptr;
+    other.pkt_ = nullptr;
+  }
+  PooledPacket& operator=(PooledPacket&& other) noexcept {
+    if (this != &other) {
+      reset();
+      pool_ = other.pool_;
+      pkt_ = other.pkt_;
+      other.pool_ = nullptr;
+      other.pkt_ = nullptr;
+    }
+    return *this;
+  }
+  PooledPacket(const PooledPacket&) = delete;
+  PooledPacket& operator=(const PooledPacket&) = delete;
+  ~PooledPacket() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const { return pkt_ != nullptr; }
+  [[nodiscard]] Packet& operator*() { return *pkt_; }
+  [[nodiscard]] Packet* operator->() { return pkt_; }
+
+  /// Move the frame out (for handing to a receive/enqueue API that takes
+  /// Packet by value). The emptied slot still returns to the pool when
+  /// this handle is destroyed.
+  [[nodiscard]] Packet take() { return std::move(*pkt_); }
+
+  /// Return the slot to the pool now instead of at destruction.
+  void reset();
+
+ private:
+  friend class Pool;
+  PooledPacket(Pool* pool, Packet* pkt) : pool_(pool), pkt_(pkt) {}
+
+  Pool* pool_ = nullptr;
+  Packet* pkt_ = nullptr;
+};
+
+/// Recycling arena for in-flight Packet buffers. Slots live in chunked
+/// slabs with stable addresses and cycle through a LIFO free list, so the
+/// steady-state hot path (a frame hopping link -> switch -> link) reuses
+/// the same few cache-warm slots and never touches the allocator.
+///
+/// Single-threaded, like the simulator it feeds. hit-rate telemetry:
+/// reuses()/acquires() is exported as the pool.hit_rate gauge (basis
+/// points) — a low value means the in-flight population keeps growing,
+/// i.e. the pool is being used somewhere packets are parked long-term.
+class Pool {
+ public:
+  static constexpr std::size_t kChunkPackets = 64;
+
+  Pool() = default;
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  /// Process-wide pool shared by every link/port/pipeline hop.
+  [[nodiscard]] static Pool& local();
+
+  /// Park `pkt` in a recycled slot and get the small handle for it.
+  [[nodiscard]] PooledPacket acquire(Packet&& pkt);
+
+  [[nodiscard]] std::uint64_t acquires() const { return acquires_; }
+  /// Acquires served from the free list (no new slot materialized).
+  [[nodiscard]] std::uint64_t reuses() const { return reuses_; }
+  /// Distinct slots ever materialized (high-water in-flight population).
+  [[nodiscard]] std::size_t slots() const { return slot_count_; }
+  [[nodiscard]] std::size_t free_slots() const { return free_.size(); }
+
+ private:
+  friend class PooledPacket;
+  void release(Packet* pkt);
+
+  std::vector<std::unique_ptr<Packet[]>> chunks_;
+  std::vector<Packet*> free_;
+  std::size_t slot_count_ = 0;
+  std::uint64_t acquires_ = 0;
+  std::uint64_t reuses_ = 0;
+};
+
+inline void PooledPacket::reset() {
+  if (pool_ != nullptr) {
+    pool_->release(pkt_);
+    pool_ = nullptr;
+    pkt_ = nullptr;
+  }
+}
+
+}  // namespace netseer::packet

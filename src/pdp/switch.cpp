@@ -2,6 +2,7 @@
 
 #include "net/host.h"
 #include "packet/builder.h"
+#include "packet/pool.h"
 
 namespace netseer::pdp {
 
@@ -147,9 +148,8 @@ void Switch::run_pipeline(packet::Packet&& pkt, PipelineContext ctx) {
 
   if (config_.pipeline_latency > 0) {
     sim_.schedule_after(config_.pipeline_latency,
-                        [this, pkt = std::move(pkt), ctx]() mutable {
-                          enqueue(std::move(pkt), ctx);
-                        });
+                        [this, slot = packet::Pool::local().acquire(std::move(pkt)),
+                         ctx]() mutable { enqueue(slot.take(), ctx); });
   } else {
     enqueue(std::move(pkt), ctx);
   }

@@ -120,7 +120,7 @@ SlaStudyResult run_sla_study(const SlaStudyConfig& config) {
   };
 
   SlaStudyResult result;
-  auto* pingmesh = harness.pingmesh();
+  auto* pingmesh = harness.monitor<monitors::PingmeshProber>();
 
   for (std::size_t c = 0; c < clients.size(); ++c) {
     for (const auto& record : clients[c]->records()) {

@@ -1,56 +1,208 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+#include <bit>
+
 namespace netseer::sim {
 
-TaskHandle Simulator::schedule_at(SimTime when, std::function<void()> fn) {
-  auto alive = std::make_shared<bool>(true);
+Simulator::Simulator() = default;
+
+TaskHandle Simulator::enqueue_slot(SimTime when, std::uint32_t slot) {
   if (when < now_) when = now_;
-  queue_.push(Entry{when, next_seq_++, std::move(fn), alive, /*oneshot=*/true});
-  return TaskHandle(std::move(alive));
+  Slot& cell = slot_ref(slot);
+  cell.when = when;
+  cell.seq = next_seq_++;
+  const std::uint64_t gen = cell.gen;
+  push_slot(slot);
+  return TaskHandle(this, slot, gen);
 }
 
-TaskHandle Simulator::schedule_every(SimDuration interval, std::function<void()> fn) {
-  auto alive = std::make_shared<bool>(true);
-  // execute() reschedules interval-tagged entries, so the closure never
-  // has to reference itself (a self-owning cycle that would never free).
-  queue_.push(
-      Entry{now_ + interval, next_seq_++, std::move(fn), alive, /*oneshot=*/false, interval});
-  return TaskHandle(std::move(alive));
+std::uint32_t Simulator::acquire_slot() {
+  std::uint32_t index;
+  if (free_slot_ != kNoSlot) {
+    index = free_slot_;
+    free_slot_ = slot_ref(index).next;
+  } else {
+    index = slot_count_++;
+    if ((index >> kChunkShift) == chunks_.size()) {
+      chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+    }
+  }
+  Slot& slot = slot_ref(index);
+  slot.in_use = true;
+  slot.cancelled = false;
+  return index;
 }
 
-void Simulator::execute(Entry& entry) {
+void Simulator::release_slot(std::uint32_t index) {
+  Slot& slot = slot_ref(index);
+  slot.fn.reset();  // drop captures eagerly (cancelled tasks may pin buffers)
+  ++slot.gen;       // invalidate outstanding handles
+  slot.in_use = false;
+  slot.cancelled = false;
+  slot.next = free_slot_;
+  free_slot_ = index;
+}
+
+void Simulator::append(Bucket& bucket, std::uint32_t slot) {
+  slot_ref(slot).next = kNoSlot;
+  if (bucket.tail == kNoSlot) {
+    bucket.head = slot;
+  } else {
+    slot_ref(bucket.tail).next = slot;
+  }
+  bucket.tail = slot;
+}
+
+void Simulator::push_slot(std::uint32_t slot) {
+  ++size_;
+  const Slot& cell = slot_ref(slot);
+  const auto epoch = epoch_of(cell.when);
+  if (epoch <= cursor_epoch_) {
+    // current_ is the catch-all for everything at or before the cursor.
+    // During a normal drain appends are same-instant with monotonic seq,
+    // so FIFO tail order holds; but a run_until() that claimed a bucket
+    // beyond its limit and broke early leaves the cursor ahead of now,
+    // and a later schedule can land before the stranded chain — detect
+    // that and re-sort (rare: only a paused/idle port re-armed between
+    // runs hits it).
+    const bool out_of_order =
+        current_.tail != kNoSlot && slot_ref(current_.tail).when > cell.when;
+    append(current_, slot);
+    if (out_of_order) sort_current();
+  } else if (epoch < cursor_epoch_ + kBucketCount) {
+    const std::size_t index = epoch % kBucketCount;
+    append(ring_[index], slot);
+    mark(index);
+  } else {
+    overflow_.push_back(Entry{cell.when, cell.seq, slot});
+    std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+  }
+}
+
+void Simulator::migrate_overflow() {
+  const std::uint64_t horizon = cursor_epoch_ + kBucketCount;
+  while (!overflow_.empty() && epoch_of(overflow_.front().when) < horizon) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+    const Entry entry = overflow_.back();
+    overflow_.pop_back();
+    const std::size_t index = epoch_of(entry.when) % kBucketCount;
+    Bucket& bucket = ring_[index];
+    // A cursor jump can expose this epoch to direct pushes before the
+    // overflow entries for it migrate in; appending an older seq after a
+    // newer one breaks the chain's FIFO order, so flag the bucket for a
+    // claim-time sort.
+    if (bucket.tail != kNoSlot && slot_ref(bucket.tail).seq > entry.seq) {
+      mark_disorder(index);
+    }
+    append(bucket, entry.slot);
+    mark(index);
+  }
+}
+
+std::size_t Simulator::next_occupied(std::size_t base) const {
+  std::size_t word = base >> 6;
+  const std::uint64_t head = occupied_[word] >> (base & 63);
+  if (head != 0) return static_cast<std::size_t>(std::countr_zero(head));
+  std::size_t dist = 64 - (base & 63);
+  for (;;) {
+    word = (word + 1) % kWords;
+    if (occupied_[word] != 0) {
+      return dist + static_cast<std::size_t>(std::countr_zero(occupied_[word]));
+    }
+    dist += 64;
+  }
+}
+
+void Simulator::sort_current() {
+  scratch_.clear();
+  for (std::uint32_t s = current_.head; s != kNoSlot; s = slot_ref(s).next) {
+    scratch_.push_back(s);
+  }
+  std::sort(scratch_.begin(), scratch_.end(), [this](std::uint32_t a, std::uint32_t b) {
+    const Slot& sa = slot_ref(a);
+    const Slot& sb = slot_ref(b);
+    return sa.when != sb.when ? sa.when < sb.when : sa.seq < sb.seq;
+  });
+  current_ = Bucket{};
+  for (const std::uint32_t s : scratch_) append(current_, s);
+}
+
+bool Simulator::prepare() {
+  if (current_.head != kNoSlot) return true;
+  current_.tail = kNoSlot;
+  if (size_ == 0) return false;
+  // Pull newly-in-horizon overflow entries into the ring BEFORE picking
+  // the next bucket: after a jump, the overflow minimum can precede the
+  // ring minimum, and claiming the ring bucket first would fire events
+  // out of order.
+  if (!overflow_.empty()) {
+    migrate_overflow();
+    if (size_ == overflow_.size()) {
+      // Everything pending sits beyond the ring horizon: slide the
+      // window so the earliest overflow epoch migrates in.
+      cursor_epoch_ = epoch_of(overflow_.front().when) - 1;
+      migrate_overflow();
+    }
+  }
+  const std::size_t dist = next_occupied((cursor_epoch_ + 1) % kBucketCount);
+  cursor_epoch_ += 1 + dist;
+  const std::size_t index = cursor_epoch_ % kBucketCount;
+  current_ = ring_[index];
+  ring_[index] = Bucket{};
+  unmark(index);
+  if (take_disorder(index)) sort_current();
+  return true;
+}
+
+std::uint32_t Simulator::pop_current() {
+  const std::uint32_t slot = current_.head;
+  current_.head = slot_ref(slot).next;
+  if (current_.head == kNoSlot) current_.tail = kNoSlot;
+  --size_;
+  return slot;
+}
+
+void Simulator::fire(std::uint32_t index) {
+  // Chunked slab cells never move, so the Task runs in place even if the
+  // callback grows the slab or cancels its own handle.
+  Slot& cell = slot_ref(index);
+  if (cell.cancelled) {
+    release_slot(index);
+    return;
+  }
   ++processed_;
-  entry.fn();
-  // One-shot handles report inactive after firing, so owners can re-arm
-  // timers by checking handle.active().
-  if (entry.oneshot) {
-    if (entry.alive) *entry.alive = false;
-  } else if (entry.interval > 0 && (!entry.alive || *entry.alive)) {
-    // Periodic: requeue unless the handle was cancelled during this firing.
-    queue_.push(Entry{now_ + entry.interval, next_seq_++, std::move(entry.fn), entry.alive,
-                      /*oneshot=*/false, entry.interval});
+  cell.fn();
+  if (cell.oneshot) {
+    // One-shot handles report inactive after firing, so owners can re-arm
+    // timers by checking handle.active().
+    release_slot(index);
+  } else if (cell.cancelled) {
+    // Periodic cancelled from inside its own firing: retire the slot.
+    release_slot(index);
+  } else {
+    cell.when = now_ + cell.interval;
+    cell.seq = next_seq_++;
+    push_slot(index);
   }
 }
 
 void Simulator::run() {
   stopped_ = false;
-  while (!queue_.empty() && !stopped_) {
-    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    now_ = entry.when;
-    if (entry.alive && !*entry.alive) continue;
-    execute(entry);
+  while (!stopped_ && prepare()) {
+    const std::uint32_t slot = pop_current();
+    now_ = slot_ref(slot).when;  // cancelled entries still advance time (as before)
+    fire(slot);
   }
 }
 
 void Simulator::run_until(SimTime limit) {
   stopped_ = false;
-  while (!queue_.empty() && !stopped_ && queue_.top().when <= limit) {
-    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    now_ = entry.when;
-    if (entry.alive && !*entry.alive) continue;
-    execute(entry);
+  while (!stopped_ && prepare()) {
+    if (peek_when() > limit) break;
+    const std::uint32_t slot = pop_current();
+    now_ = slot_ref(slot).when;
+    fire(slot);
   }
   if (!stopped_ && now_ < limit) now_ = limit;
 }

@@ -1,11 +1,11 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/task.h"
 #include "util/time.h"
 
 namespace netseer::sim {
@@ -13,51 +13,101 @@ namespace netseer::sim {
 using util::SimDuration;
 using util::SimTime;
 
+class Simulator;
+
 /// Cancellation token for a scheduled callback. Destroying the handle does
 /// NOT cancel (fire-and-forget is the common case); call cancel().
 /// A one-shot task's handle reports active() == false once it has fired;
 /// a periodic task stays active until cancelled.
+///
+/// Handles are generation-counted references into the simulator's slab:
+/// copying is trivial, and a stale handle (task fired / cancelled / slot
+/// recycled) degrades to an inactive no-op. Handles must not outlive the
+/// Simulator that issued them.
 class TaskHandle {
  public:
   TaskHandle() = default;
 
-  void cancel() {
-    if (alive_) *alive_ = false;
-  }
-  [[nodiscard]] bool active() const { return alive_ && *alive_; }
+  void cancel();
+  [[nodiscard]] bool active() const;
 
  private:
   friend class Simulator;
-  explicit TaskHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
-  std::shared_ptr<bool> alive_;
+  TaskHandle(Simulator* owner, std::uint32_t slot, std::uint64_t gen)
+      : owner_(owner), slot_(slot), gen_(gen) {}
+
+  Simulator* owner_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint64_t gen_ = 0;
 };
 
 /// Single-threaded discrete-event simulator with integer-nanosecond
 /// virtual time. Events scheduled for the same instant run in scheduling
 /// order, so runs are bit-reproducible for a fixed seed.
+///
+/// The hot path is allocation-free: callbacks are sim::Task values whose
+/// captures live inline in a recycled slot slab (≤ Task::kInlineBytes, no
+/// per-event heap cell), cancellation state is a generation counter in the
+/// same slot instead of a shared_ptr per event, and the pending set is a
+/// two-level calendar queue — a ring of kBucketWidth-wide buckets for the
+/// near-monotonic bulk of link/queue events, plus a binary-heap overflow
+/// for far-out timers (RTOs, pollers) that migrate into the ring as time
+/// advances. Each bucket is an intrusive FIFO threaded through the slab
+/// slots themselves (an 8-byte head/tail pair per bucket, a next link in
+/// each slot), so scheduling never allocates and claiming a bucket
+/// touches only the slots that are about to fire; the Task never moves
+/// while queued. With 1 ns buckets a claimed bucket is a single instant,
+/// and entries land in it in seq (scheduling) order, so the active chain
+/// drains front-to-back — no per-event heap sift. The one way a bucket
+/// can be out of seq order is an overflow migration into an epoch that a
+/// cursor jump already exposed to direct pushes; migration flags that
+/// bucket in a disorder bitmap and the claim re-sorts it, so pops stay
+/// bit-identical to a global priority queue including same-instant FIFO.
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   [[nodiscard]] SimTime now() const { return now_; }
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
-  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  /// Entries currently queued (including cancelled-but-unreaped ones).
+  [[nodiscard]] std::size_t pending() const { return size_; }
+
+  /// Tasks whose capture spilled to the heap (see Task::on_heap). Zero on
+  /// the intended hot paths; the sim.alloc_per_event gauge watches it.
+  [[nodiscard]] std::uint64_t task_heap_allocs() const { return task_heap_allocs_; }
+  /// Total schedule_* calls, the denominator for spill ratios.
+  [[nodiscard]] std::uint64_t tasks_scheduled() const { return next_seq_; }
 
   /// Schedule `fn` at absolute time `when` (clamped to now for past times).
-  TaskHandle schedule_at(SimTime when, std::function<void()> fn);
+  /// `fn` is any void() callable; it is stored as a sim::Task built in
+  /// place in the slab cell (deduced so the capture never moves twice).
+  template <typename F>
+  TaskHandle schedule_at(SimTime when, F&& fn) {
+    return schedule_task(when, std::forward<F>(fn), /*oneshot=*/true, 0);
+  }
 
   /// Schedule `fn` `delay` after now.
-  TaskHandle schedule_after(SimDuration delay, std::function<void()> fn) {
-    return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  template <typename F>
+  TaskHandle schedule_after(SimDuration delay, F&& fn) {
+    return schedule_task(now_ + (delay < 0 ? 0 : delay), std::forward<F>(fn), /*oneshot=*/true,
+                         0);
   }
 
   /// Schedule `fn` every `interval`, first firing at now + interval.
-  /// Cancel via the returned handle.
-  TaskHandle schedule_every(SimDuration interval, std::function<void()> fn);
+  /// Cancel via the returned handle. Non-positive intervals are clamped
+  /// to 1 ns (a zero-interval periodic used to leak a forever-active
+  /// handle that never fired again).
+  template <typename F>
+  TaskHandle schedule_every(SimDuration interval, F&& fn) {
+    if (interval < 1) interval = 1;
+    return schedule_task(now_ + interval, std::forward<F>(fn), /*oneshot=*/false, interval);
+  }
 
-  /// Run until the queue drains or stop() is called.
+  /// Run until the queue drains or stop() is called. Must not be called
+  /// re-entrantly from inside a callback.
   void run();
 
   /// Run all events with time <= `limit`; afterwards now() == limit (if
@@ -65,31 +115,160 @@ class Simulator {
   void run_until(SimTime limit);
 
   /// Stop the current run() / run_until() after the in-flight event.
+  /// A pending stop is consumed (reset) when the next run starts, so
+  /// calling stop() while idle does not suppress a future run.
   void stop() { stopped_ = true; }
 
  private:
+  friend class TaskHandle;
+
+  /// Overflow-heap key: trivially copyable so heap sifts are memcpys.
   struct Entry {
     SimTime when;
     std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> alive;
-    bool oneshot = true;         // expire the handle after firing
-    SimDuration interval = 0;    // > 0: execute() reschedules after firing
+    std::uint32_t slot;
   };
+
+  /// Slab cell holding the callback and its control state. `gen`
+  /// increments on release, invalidating every outstanding handle to the
+  /// old incarnation. The slab is chunked so cells never move: a callback
+  /// that schedules new tasks may append a chunk, but the cell being
+  /// invoked stays put, so fire() runs the Task in place with no move.
+  /// `when`/`seq`/`next` double as the queue entry while the slot is
+  /// queued in a ring bucket; `next` is also the free-list link (the two
+  /// lifetimes never overlap).
+  struct Slot {
+    Task fn;
+    SimTime when = 0;
+    std::uint64_t seq = 0;
+    SimDuration interval = 0;  // > 0: periodic, requeued after firing
+    std::uint64_t gen = 0;
+    std::uint32_t next = kNoSlot;  // bucket chain when queued, free list when free
+    bool oneshot = true;
+    bool cancelled = false;
+    bool in_use = false;
+  };
+
+  /// Intrusive FIFO of slab slots chained by Slot::next.
+  struct Bucket {
+    std::uint32_t head = kNoSlot;
+    std::uint32_t tail = kNoSlot;
+  };
+
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  /// log2 of the bucket width in ns. 1 ns buckets make a bucket exactly
+  /// one instant, so the active bucket drains as a plain FIFO (see the
+  /// class comment); the occupancy bitmap makes skipping the empty
+  /// buckets in between nearly free, and anything past the 4.1 us
+  /// horizon rides the overflow heap until its window arrives. The FIFO
+  /// drain leans on one-instant buckets, so widening needs a re-think.
+  static constexpr int kBucketShift = 0;
+  /// Sized so store-and-forward hop delays (tens of ns to ~8 us of
+  /// serialization) stay in-ring; RTO/poller timers beyond the horizon
+  /// take the overflow heap, which is exactly what it is for.
+  static constexpr std::size_t kBucketCount = 8192;  // ring horizon ≈ 8.2 us
+
+  [[nodiscard]] static std::uint64_t epoch_of(SimTime t) {
+    return static_cast<std::uint64_t>(t) >> kBucketShift;
+  }
+  [[nodiscard]] static bool earlier(const Entry& a, const Entry& b) {
+    return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+  }
+  /// Heap comparator as a stateless functor so std::*_heap inlines the
+  /// compare (a function pointer would cost an indirect call per sift).
   struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+    bool operator()(const Entry& a, const Entry& b) const { return earlier(b, a); }
   };
 
-  void execute(Entry& entry);
+  static constexpr std::uint32_t kChunkShift = 8;  // 256 slots per chunk
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  [[nodiscard]] Slot& slot_ref(std::uint32_t index) {
+    return chunks_[index >> kChunkShift][index & (kChunkSize - 1)];
+  }
+  [[nodiscard]] const Slot& slot_ref(std::uint32_t index) const {
+    return chunks_[index >> kChunkShift][index & (kChunkSize - 1)];
+  }
+
+  template <typename F>
+  TaskHandle schedule_task(SimTime when, F&& fn, bool oneshot, SimDuration interval) {
+    const std::uint32_t slot = acquire_slot();
+    Slot& cell = slot_ref(slot);
+    cell.fn = std::forward<F>(fn);  // in-place Task construction
+    if (cell.fn.on_heap()) ++task_heap_allocs_;
+    cell.interval = interval;
+    cell.oneshot = oneshot;
+    return enqueue_slot(when, slot);
+  }
+
+  TaskHandle enqueue_slot(SimTime when, std::uint32_t slot);
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
+
+  void append(Bucket& bucket, std::uint32_t slot);
+  void push_slot(std::uint32_t slot);
+  void migrate_overflow();
+  /// Re-chain current_ into (when, seq) order (rare: set-up by a
+  /// disorder-flagged migration, see push_slot/migrate_overflow).
+  void sort_current();
+  /// Ensure the head of current_ is the earliest pending entry; false
+  /// when the queue is empty.
+  bool prepare();
+  /// The earliest pending slot's fire time; valid only after prepare()
+  /// returned true.
+  [[nodiscard]] SimTime peek_when() { return slot_ref(current_.head).when; }
+  /// Detach the earliest slot from current_ (FIFO head advance).
+  std::uint32_t pop_current();
+  void fire(std::uint32_t slot);
+
+  static constexpr std::size_t kWords = kBucketCount / 64;
+
+  void mark(std::size_t index) { occupied_[index >> 6] |= 1ull << (index & 63); }
+  void unmark(std::size_t index) { occupied_[index >> 6] &= ~(1ull << (index & 63)); }
+  void mark_disorder(std::size_t index) { disorder_[index >> 6] |= 1ull << (index & 63); }
+  /// Read-and-clear the disorder bit for a bucket being claimed.
+  [[nodiscard]] bool take_disorder(std::size_t index) {
+    const std::uint64_t bit = 1ull << (index & 63);
+    const bool was_set = (disorder_[index >> 6] & bit) != 0;
+    disorder_[index >> 6] &= ~bit;
+    return was_set;
+  }
+  /// Circular distance from ring index `base` to the first occupied
+  /// bucket (0 if `base` itself is occupied). Requires ring_size_ > 0.
+  [[nodiscard]] std::size_t next_occupied(std::size_t base) const;
+
+  // Two-level calendar queue.
+  std::array<Bucket, kBucketCount> ring_;
+  std::array<std::uint64_t, kWords> occupied_{};  // bitmap of non-empty buckets
+  std::array<std::uint64_t, kWords> disorder_{};  // buckets needing a claim-time sort
+  std::vector<Entry> overflow_;  // min-heap by (when, seq) via Later{}
+  Bucket current_;               // claimed chain being drained, FIFO
+  std::vector<std::uint32_t> scratch_;  // sort_current work buffer (rare)
+  std::uint64_t cursor_epoch_ = 0;      // epoch of the active bucket
+  std::size_t size_ = 0;                // all pending entries
+
+  // Task + cancellation slab (chunked; cells have stable addresses).
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t slot_count_ = 0;  // slots handed out so far (high-water)
+  std::uint32_t free_slot_ = kNoSlot;
+
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  std::uint64_t task_heap_allocs_ = 0;
   bool stopped_ = false;
 };
+
+inline void TaskHandle::cancel() {
+  if (owner_ == nullptr) return;
+  Simulator::Slot& slot = owner_->slot_ref(slot_);
+  if (slot.in_use && slot.gen == gen_) slot.cancelled = true;
+}
+
+inline bool TaskHandle::active() const {
+  if (owner_ == nullptr) return false;
+  const Simulator::Slot& slot = owner_->slot_ref(slot_);
+  return slot.in_use && slot.gen == gen_ && !slot.cancelled;
+}
 
 }  // namespace netseer::sim

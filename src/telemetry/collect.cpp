@@ -5,6 +5,7 @@
 #include "backend/collector.h"
 #include "backend/event_store.h"
 #include "core/netseer_app.h"
+#include "packet/pool.h"
 #include "pdp/resources.h"
 #include "pdp/switch.h"
 #include "sim/simulator.h"
@@ -181,6 +182,27 @@ void collect(Registry& registry, const sim::Simulator& sim, double wall_seconds)
   if (sim_seconds > 0) {
     registry.gauge(kSim, "wall_us_per_sim_s")
         .update_max(static_cast<std::int64_t>(wall_seconds * 1e6 / sim_seconds));
+  }
+  if (wall_seconds > 0) {
+    registry.gauge(kSim, "events_per_sec")
+        .update_max(static_cast<std::int64_t>(static_cast<double>(sim.events_processed()) /
+                                              wall_seconds));
+  }
+  // Task captures that spilled past the inline buffer, in parts per
+  // million of schedules. Zero on the intended hot paths; a rising value
+  // points at an oversized capture somewhere.
+  if (sim.tasks_scheduled() > 0) {
+    registry.gauge(kSim, "alloc_per_event_ppm")
+        .update_max(static_cast<std::int64_t>(sim.task_heap_allocs() * 1'000'000 /
+                                              sim.tasks_scheduled()));
+  }
+  const auto& pool = packet::Pool::local();
+  if (pool.acquires() > 0) {
+    // Basis points, like the pdp resource-utilization gauges.
+    registry.gauge(kSim, "pool.hit_rate_bps")
+        .update_max(static_cast<std::int64_t>(pool.reuses() * 10'000 / pool.acquires()));
+    registry.gauge(kSim, "pool.slots")
+        .update_max(static_cast<std::int64_t>(pool.slots()));
   }
 }
 

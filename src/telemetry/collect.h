@@ -49,8 +49,11 @@ void collect(Registry& registry, const backend::Collector& collector);
 /// Subsystem "backend": current store population (global gauge).
 void collect(Registry& registry, const backend::EventStore& store);
 
-/// Subsystem "sim": events processed, virtual time, and wall-clock cost
-/// per simulated second (pass the wall time the caller measured).
+/// Subsystem "sim": events processed, virtual time, wall-clock cost per
+/// simulated second (pass the wall time the caller measured), engine
+/// throughput (sim.events_per_sec), Task heap-spill rate
+/// (sim.alloc_per_event_ppm, parts per million of schedules), and packet
+/// pool recycling (sim.pool.hit_rate_bps / sim.pool.slots).
 void collect(Registry& registry, const sim::Simulator& sim, double wall_seconds);
 
 }  // namespace netseer::telemetry

@@ -7,6 +7,7 @@
 #include <map>
 
 #include "scenarios/harness.h"
+#include "sim/simulator.h"
 #include "telemetry/collect.h"
 #include "telemetry/metrics.h"
 #include "traffic/generator.h"
@@ -104,6 +105,32 @@ TEST_F(CollectIntegration, CollectIsAdditiveAcrossRuns) {
   for (const auto& [key, gauge] : registry_.gauges()) {
     EXPECT_EQ(gauge.value(), gauge.peak()) << key.subsystem << "." << key.name;
   }
+}
+
+TEST(CollectSimParity, EngineGaugesMatchTheEngineCountersExactly) {
+  // The sim.* snapshot must be arithmetic on the engine's own counters,
+  // not an independent estimate: events_per_sec is events_processed over
+  // the measured wall time, alloc_per_event_ppm is heap spills per
+  // million schedules. Integer truncation and all.
+  sim::Simulator sim;
+  for (int i = 0; i < 1000; ++i) {
+    sim.schedule_at(i * 7, [] {});
+  }
+  sim.run();
+  ASSERT_EQ(sim.events_processed(), 1000u);
+
+  telemetry::Registry registry;
+  const double wall_seconds = 0.125;
+  telemetry::collect(registry, sim, wall_seconds);
+
+  EXPECT_EQ(registry.total("sim", "events_processed"), sim.events_processed());
+  EXPECT_EQ(registry.gauge("sim", "virtual_time_ns").value(), sim.now());
+  EXPECT_EQ(registry.gauge("sim", "events_per_sec").value(),
+            static_cast<std::int64_t>(static_cast<double>(sim.events_processed()) /
+                                      wall_seconds));
+  EXPECT_EQ(registry.gauge("sim", "alloc_per_event_ppm").value(),
+            static_cast<std::int64_t>(sim.task_heap_allocs() * 1'000'000 /
+                                      sim.tasks_scheduled()));
 }
 
 }  // namespace
