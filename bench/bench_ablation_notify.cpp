@@ -4,6 +4,7 @@
 // copy count against link loss rates and measures how many inter-switch
 // drop events actually reach the backend.
 #include "backend/collector.h"
+#include "backend/event_store.h"
 #include "core/netseer_app.h"
 #include "core/nic_agent.h"
 #include "fabric/network.h"

@@ -1,0 +1,188 @@
+// Flow-event store microbench: ingest throughput (in-memory and durable)
+// and the query engine's index/pruning behaviour over a sealed store.
+//
+//   bench_store --events 2000000 --reps 3
+//   bench_store --events 2000000 --baseline bench/BENCH_store.json
+//
+// With --baseline the run exits 1 if the best in-memory ingest rate lands
+// more than --max-regression-pct below the checked-in value — the CI
+// perf-smoke gate, same contract as bench_engine. The query phase asserts
+// that time-windowed queries actually prune segments (the whole point of
+// the per-segment time fences); zero pruning fails the run.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/event.h"
+#include "experiment.h"
+#include "store/store.h"
+#include "table.h"
+#include "telemetry/collect.h"
+
+using namespace netseer;
+using namespace netseer::bench;
+
+namespace {
+
+// Deterministic event mix: 64 switches, 4096 flows, monotonically
+// increasing detected_at so segments get disjoint time fences (the
+// realistic shape — events arrive roughly in detection order).
+struct EventGen {
+  std::uint64_t state = 7;
+  std::uint64_t rnd() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  }
+  core::FlowEvent next(std::uint64_t i) {
+    const auto r = rnd();
+    packet::FlowKey flow{packet::Ipv4Addr::from_octets(10, (r >> 8) & 15, (r >> 4) & 255, 1),
+                         packet::Ipv4Addr::from_octets(10, 128, (r >> 12) & 255, 2), 6,
+                         static_cast<std::uint16_t>(1024 + (r & 4095)), 80};
+    auto ev = core::make_event(
+        r % 5 == 0 ? core::EventType::kCongestion : core::EventType::kDrop, flow,
+        static_cast<util::NodeId>(r % 64), static_cast<util::SimTime>(i * 100));
+    ev.counter = static_cast<std::uint16_t>(1 + (r % 50));
+    return ev;
+  }
+};
+
+double read_json_number(const std::string& text, const std::string& key) {
+  const auto pos = text.find("\"" + key + "\"");
+  if (pos == std::string::npos) return -1.0;
+  const auto colon = text.find(':', pos);
+  if (colon == std::string::npos) return -1.0;
+  return std::strtod(text.c_str() + colon + 1, nullptr);
+}
+
+double ingest_run(store::FlowEventStore& fs, std::uint64_t events) {
+  EventGen gen;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < events; ++i) {
+    const auto ev = gen.next(i);
+    fs.add(ev, ev.detected_at + 50);
+  }
+  fs.flush();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t events = 2'000'000;
+  int reps = 3;
+  std::string baseline_path;
+  double max_regression_pct = 20.0;
+  ExperimentOptions cli{"Store microbench — ingest events/sec and query pruning"};
+  cli.flag("events", &events, "events per ingest rep")
+      .flag("reps", &reps, "take the best rate over this many reps")
+      .flag("baseline", &baseline_path, "BENCH_store.json to gate regressions against")
+      .flag("max-regression-pct", &max_regression_pct, "allowed ingest drop vs baseline")
+      .parse(argc, argv);
+  if (events < 1) events = 1;
+  if (reps < 1) reps = 1;
+
+  print_title("Flow-event store microbench");
+
+  // Phase 1: in-memory ingest (shard buffers -> memtable -> seal ->
+  // compaction, no WAL). This is the number the baseline gates.
+  double best_mem = -1.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    store::FlowEventStore fs;
+    const double wall = ingest_run(fs, events);
+    const double eps = static_cast<double>(events) / wall;
+    std::printf("  mem ingest rep %d: %.3fs (%.2fM events/s, %zu segments)\n", rep, wall,
+                eps / 1e6, fs.segment_count());
+    if (eps > best_mem) best_mem = eps;
+  }
+
+  // Phase 2: durable ingest — same stream through the CRC-framed WAL and
+  // segment files in a scratch directory.
+  const auto dir = std::filesystem::temp_directory_path() / "netseer_bench_store";
+  double best_dur = -1.0;
+  std::uint64_t wal_bytes = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::filesystem::remove_all(dir);
+    store::StoreOptions options;
+    options.dir = dir.string();
+    store::FlowEventStore fs(options);
+    const double wall = ingest_run(fs, events);
+    const double eps = static_cast<double>(events) / wall;
+    wal_bytes = fs.stats().wal_bytes;
+    std::printf("  wal ingest rep %d: %.3fs (%.2fM events/s, %.1f MB WAL)\n", rep, wall,
+                eps / 1e6, static_cast<double>(wal_bytes) / 1e6);
+    if (eps > best_dur) best_dur = eps;
+  }
+  std::filesystem::remove_all(dir);
+
+  // Phase 3: query engine over a sealed in-memory store. Narrow time
+  // windows must prune most segments via the min/max fences.
+  store::FlowEventStore fs;
+  (void)ingest_run(fs, events);
+  fs.seal_active();
+  const util::SimTime span = static_cast<util::SimTime>(events) * 100;
+  EventGen qgen;
+  const int kQueries = 2000;
+  const auto qstart = std::chrono::steady_clock::now();
+  std::size_t total_matches = 0;
+  for (int q = 0; q < kQueries; ++q) {
+    backend::EventQuery query;
+    const auto r = qgen.rnd();
+    const auto from = static_cast<util::SimTime>(r % static_cast<std::uint64_t>(span));
+    query.from = from;
+    query.to = from + span / 256;
+    if (q % 2 == 0) query.type = core::EventType::kCongestion;
+    total_matches += fs.count(query);
+  }
+  const double qwall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - qstart).count();
+  const auto& stats = fs.stats();
+  std::printf("\n  queries           %d time-windowed (%.0f/s), %zu matches\n", kQueries,
+              kQueries / qwall, total_matches);
+  std::printf("  segments          %zu; scanned %llu, pruned %llu (%.1f%% pruned)\n",
+              fs.segment_count(), static_cast<unsigned long long>(stats.segments_scanned),
+              static_cast<unsigned long long>(stats.segments_pruned),
+              100.0 * static_cast<double>(stats.segments_pruned) /
+                  static_cast<double>(stats.segments_scanned + stats.segments_pruned));
+  std::printf("  ingest mem        %.2fM events/s\n", best_mem / 1e6);
+  std::printf("  ingest wal        %.2fM events/s\n", best_dur / 1e6);
+
+  if (stats.segments_pruned == 0) {
+    std::fprintf(stderr, "FAIL: time-windowed queries pruned zero segments\n");
+    return 1;
+  }
+
+  if (cli.metrics_enabled()) telemetry::collect(cli.registry(), fs);
+
+  if (!baseline_path.empty()) {
+    FILE* f = std::fopen(baseline_path.c_str(), "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot read baseline %s\n", baseline_path.c_str());
+      return 1;
+    }
+    std::string text;
+    char buffer[4096];
+    for (std::size_t n; (n = std::fread(buffer, 1, sizeof(buffer), f)) > 0;) {
+      text.append(buffer, n);
+    }
+    std::fclose(f);
+    const double baseline_eps = read_json_number(text, "baseline_ingest_events_per_sec");
+    if (baseline_eps <= 0) {
+      std::fprintf(stderr, "no \"baseline_ingest_events_per_sec\" in %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    const double floor = baseline_eps * (1.0 - max_regression_pct / 100.0);
+    std::printf("\n  baseline          %.0f events/s (%s)\n", baseline_eps,
+                baseline_path.c_str());
+    std::printf("  regression floor  %.0f events/s (-%g%%)\n", floor, max_regression_pct);
+    if (best_mem < floor) {
+      std::fprintf(stderr, "FAIL: ingest %.0f events/s below floor %.0f\n", best_mem, floor);
+      return 1;
+    }
+    std::printf("  gate              PASS\n");
+  }
+  return cli.write_metrics();
+}

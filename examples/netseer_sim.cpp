@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,8 @@ struct Args {
   int duration_ms = 15;
   std::string fault = "lossy-link";
   std::uint64_t seed = 7;
+  std::string store_dir;
+  std::string store_query;
 };
 
 const traffic::EmpiricalCdf* workload_by_name(const std::string& name) {
@@ -53,6 +56,10 @@ int main(int argc, char** argv) {
       .flag("duration-ms", &args.duration_ms, "simulated run length")
       .flag("fault", &args.fault, "none | lossy-link | blackhole | parity | acl | incast")
       .flag("seed", &args.seed, "simulation seed")
+      .flag("store-dir", &args.store_dir,
+            "persist backend events (WAL + segments) under this directory")
+      .flag("store-query", &args.store_query,
+            "run a store query after the run, e.g. type=drop,switch=3,from=0,to=5000000")
       .parse(argc, argv);
 
   const auto* workload = workload_by_name(args.workload);
@@ -64,6 +71,19 @@ int main(int argc, char** argv) {
 
   scenarios::HarnessOptions options;
   options.seed = args.seed;
+  options.store.dir = args.store_dir;
+  if (!args.store_dir.empty()) {
+    options.store_maintenance_interval = util::milliseconds(1);
+  }
+  std::optional<backend::EventQuery> store_query;
+  if (!args.store_query.empty()) {
+    std::string error;
+    store_query = store::parse_query(args.store_query, &error);
+    if (!store_query) {
+      std::fprintf(stderr, "bad --store-query: %s\n", error.c_str());
+      return 2;
+    }
+  }
   options.topo.host_rate = util::BitRate::gbps(5);
   options.topo.fabric_rate = util::BitRate::gbps(20);
   if (args.topology.starts_with("fat")) {
@@ -203,6 +223,32 @@ int main(int argc, char** argv) {
   const auto detected = harness.netseer_groups(core::EventType::kDrop);
   std::printf("\ndrop coverage vs ground truth: %.1f%% (%zu groups)\n",
               100 * scenarios::Harness::coverage(detected, actual), actual.size());
+
+  if (store_query) {
+    const auto& store = harness.store();
+    const auto scanned_before = store.stats().segments_scanned;
+    const auto pruned_before = store.stats().segments_pruned;
+    const auto matches = store.query(*store_query);
+    std::printf("\nstore query '%s': %zu events\n", args.store_query.c_str(), matches.size());
+    for (std::size_t i = 0; i < std::min<std::size_t>(10, matches.size()); ++i) {
+      const auto& ev = matches[i].event;
+      std::printf("  t=%-12lld sw=%-6u %-12s %s x%llu\n",
+                  static_cast<long long>(ev.detected_at), ev.switch_id,
+                  core::to_string(ev.type), ev.flow.to_string().c_str(),
+                  static_cast<unsigned long long>(ev.counter));
+    }
+    std::printf("  plan: %llu segments scanned, %llu pruned\n",
+                static_cast<unsigned long long>(store.stats().segments_scanned -
+                                                scanned_before),
+                static_cast<unsigned long long>(store.stats().segments_pruned -
+                                                pruned_before));
+  }
+  if (!args.store_dir.empty()) {
+    harness.store().checkpoint();
+    std::printf("\nstore checkpointed to %s (%zu segments, %zu events)\n",
+                args.store_dir.c_str(), harness.store().segment_count(),
+                harness.store().size());
+  }
 
   if (cli.metrics_enabled()) harness.collect_metrics(cli.registry());
   return cli.write_metrics();

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "backend/collector.h"
+#include "backend/event_store.h"
 #include "core/netseer_app.h"
 #include "core/nic_agent.h"
 #include "fabric/network.h"

@@ -1,0 +1,17 @@
+#pragma once
+
+#include "core/event.h"
+#include "util/time.h"
+
+namespace netseer::backend {
+
+/// Where the collector puts the events it accepts. Implemented by the
+/// in-memory EventStore and by store::FlowEventStore, so the reliable
+/// report path is independent of which storage engine backs it.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void add(const core::FlowEvent& event, util::SimTime now) = 0;
+};
+
+}  // namespace netseer::backend

@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "backend/event_sink.h"
 #include "core/event.h"
 #include "packet/flow_key.h"
 
@@ -39,11 +40,15 @@ struct EventQuery {
   }
 };
 
-/// The backend storage for flow events, with secondary indices by flow
-/// and by device so the operator queries in §3.2 step 4 stay cheap.
-class EventStore {
+/// The reference in-memory storage for flow events, with secondary
+/// indices by flow and by device so the operator queries in §3.2 step 4
+/// stay cheap. Production-shaped storage (durability, segments,
+/// compaction) lives in store::FlowEventStore, which answers the same
+/// EventQuery interface; this store remains the simple oracle the
+/// parity tests compare it against.
+class EventStore : public EventSink {
  public:
-  void add(const core::FlowEvent& event, util::SimTime now) {
+  void add(const core::FlowEvent& event, util::SimTime now) override {
     const std::size_t idx = events_.size();
     events_.push_back(StoredEvent{event, now});
     by_flow_[event.flow.hash64()].push_back(idx);

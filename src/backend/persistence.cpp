@@ -3,46 +3,65 @@
 #include <array>
 #include <cstring>
 
+#include "util/hash.h"
+
 namespace netseer::backend {
 
 namespace {
 
 constexpr char kMagic[4] = {'N', 'S', 'E', 'V'};
 
+/// Serialize little-endian while folding every written byte into `crc`.
 template <typename T>
-void put(std::ostream& out, T value) {
-  // Little-endian, byte by byte (host independence).
+void put(std::ostream& out, T value, std::uint32_t& crc) {
+  std::array<std::byte, sizeof(T)> raw;
   for (std::size_t i = 0; i < sizeof(T); ++i) {
-    out.put(static_cast<char>((static_cast<std::uint64_t>(value) >> (8 * i)) & 0xff));
+    raw[i] = static_cast<std::byte>((static_cast<std::uint64_t>(value) >> (8 * i)) & 0xff);
   }
+  out.write(reinterpret_cast<const char*>(raw.data()), sizeof(T));
+  crc = util::crc32_update(crc, raw);
 }
 
 template <typename T>
-bool get(std::istream& in, T& value) {
+bool get(std::istream& in, T& value, std::uint32_t& crc) {
+  std::array<std::byte, sizeof(T)> raw;
+  in.read(reinterpret_cast<char*>(raw.data()), sizeof(T));
+  if (!in) return false;
+  crc = util::crc32_update(crc, raw);
   std::uint64_t accum = 0;
   for (std::size_t i = 0; i < sizeof(T); ++i) {
-    const int c = in.get();
-    if (c == std::char_traits<char>::eof()) return false;
-    accum |= static_cast<std::uint64_t>(static_cast<unsigned char>(c)) << (8 * i);
+    accum |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(raw[i])) << (8 * i);
   }
   value = static_cast<T>(accum);
   return true;
 }
 
+/// The footer CRC is read raw — it is not part of its own checksum.
+bool get_footer(std::istream& in, std::uint32_t& value) {
+  std::uint32_t ignored_crc = 0;
+  return get(in, value, ignored_crc);
+}
+
 }  // namespace
 
 bool save_store(const EventStore& store, std::ostream& out) {
+  std::uint32_t crc = util::crc32_update(
+      0, std::span<const std::byte>(reinterpret_cast<const std::byte*>(kMagic),
+                                    sizeof(kMagic)));
   out.write(kMagic, sizeof(kMagic));
-  put<std::uint16_t>(out, kStoreFormatVersion);
-  put<std::uint64_t>(out, store.size());
+  put<std::uint16_t>(out, kStoreFormatVersion, crc);
+  put<std::uint64_t>(out, store.size(), crc);
   for (const auto& stored : store.all()) {
     const auto raw = stored.event.serialize();
     out.write(reinterpret_cast<const char*>(raw.data()),
               static_cast<std::streamsize>(raw.size()));
-    put<std::uint32_t>(out, stored.event.switch_id);
-    put<std::int64_t>(out, stored.event.detected_at);
-    put<std::int64_t>(out, stored.stored_at);
+    crc = util::crc32_update(crc, raw);
+    put<std::uint32_t>(out, stored.event.switch_id, crc);
+    put<std::int64_t>(out, stored.event.detected_at, crc);
+    put<std::int64_t>(out, stored.stored_at, crc);
   }
+  std::uint32_t footer_scratch = 0;
+  put<std::uint32_t>(out, crc, footer_scratch);
   return static_cast<bool>(out);
 }
 
@@ -50,25 +69,41 @@ bool load_store(EventStore& store, std::istream& in) {
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
+  std::uint32_t crc = util::crc32_update(
+      0, std::span<const std::byte>(reinterpret_cast<const std::byte*>(magic),
+                                    sizeof(magic)));
   std::uint16_t version = 0;
-  if (!get(in, version) || version != kStoreFormatVersion) return false;
+  if (!get(in, version, crc) || version != kStoreFormatVersion) return false;
   std::uint64_t count = 0;
-  if (!get(in, count)) return false;
+  if (!get(in, count, crc)) return false;
 
+  // Parse into a scratch store so a truncated or corrupt stream leaves
+  // the caller's store untouched; commit only after the CRC validates.
+  EventStore scratch;
   for (std::uint64_t i = 0; i < count; ++i) {
     std::array<std::byte, core::FlowEvent::kWireSize> raw{};
     in.read(reinterpret_cast<char*>(raw.data()), static_cast<std::streamsize>(raw.size()));
     if (!in) return false;
+    crc = util::crc32_update(crc, raw);
     auto event = core::FlowEvent::parse(raw);
     if (!event) return false;
     std::uint32_t switch_id = 0;
     std::int64_t detected_at = 0;
     std::int64_t stored_at = 0;
-    if (!get(in, switch_id) || !get(in, detected_at) || !get(in, stored_at)) return false;
+    if (!get(in, switch_id, crc) || !get(in, detected_at, crc) || !get(in, stored_at, crc)) {
+      return false;
+    }
     event->switch_id = switch_id;
     event->detected_at = detected_at;
-    store.add(*event, stored_at);
+    scratch.add(*event, stored_at);
   }
+  std::uint32_t footer = 0;
+  if (!get_footer(in, footer) || footer != crc) return false;
+  // A valid stream ends exactly at the footer; trailing bytes mean the
+  // count field lied (e.g. a flipped bit shrank it past real records).
+  if (in.peek() != std::char_traits<char>::eof()) return false;
+
+  for (const auto& stored : scratch.all()) store.add(stored.event, stored.stored_at);
   return true;
 }
 

@@ -10,16 +10,24 @@ namespace netseer::backend {
 
 /// On-disk format for the backend store: a small header followed by one
 /// fixed-size record per event — the 24-byte wire encoding (§4) plus the
-/// backend-side metadata (switch id, detected/stored timestamps). Format:
+/// backend-side metadata (switch id, detected/stored timestamps) — and a
+/// CRC-32 footer over everything before it, so truncation *and* flipped
+/// payload bytes are both detected. Format (version 2):
 ///
 ///   magic "NSEV" (4) | version u16 | record count u64
 ///   per record: event(24) | switch_id u32 | detected_at i64 | stored_at i64
+///   footer: crc32 u32 over header + records
 ///
-/// All integers little-endian. Returns false on malformed input, leaving
-/// already-loaded records in place (append semantics).
+/// All integers little-endian. load_store is atomic: input is parsed and
+/// checksummed into a scratch store first, and the target is only
+/// touched — appended to, preserving merge semantics — after the whole
+/// stream validated. A truncated or corrupt file leaves the target
+/// exactly as it was, and a stream with bytes after the footer is
+/// rejected outright (a lying count field cannot smuggle records past
+/// the checksum).
 bool save_store(const EventStore& store, std::ostream& out);
 bool load_store(EventStore& store, std::istream& in);
 
-inline constexpr std::uint16_t kStoreFormatVersion = 1;
+inline constexpr std::uint16_t kStoreFormatVersion = 2;
 
 }  // namespace netseer::backend

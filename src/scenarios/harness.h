@@ -15,6 +15,7 @@
 #include "monitors/pingmesh.h"
 #include "monitors/sampling.h"
 #include "monitors/snmp.h"
+#include "store/store.h"
 #include "telemetry/metrics.h"
 #include "traffic/generator.h"
 #include "verify/verifier.h"
@@ -36,6 +37,18 @@ struct HarnessOptions {
   util::SimDuration pingmesh_interval = util::seconds(1);
   bool enable_snmp = false;
   util::SimDuration snmp_interval = util::seconds(30);
+
+  /// Backend store placement and tuning. Leave `store.dir` empty for the
+  /// default in-memory run; set it (e.g. via --store-dir) to make every
+  /// collected event durable under that directory.
+  store::StoreOptions store{};
+  /// Cadence of the store's background maintenance task (compaction,
+  /// retention, WAL GC) while run_and_settle is driving the simulation.
+  /// Off by default: the periodic task holds the event queue open to the
+  /// full run length, which shifts the drain-phase retransmit timers and
+  /// with them the golden end-to-end signatures. Durable runs (e.g.
+  /// netseer_sim --store-dir) turn it on.
+  util::SimDuration store_maintenance_interval = 0;
 };
 
 /// The paper's instrumented testbed (§5): the 10-switch fat-tree with
@@ -52,7 +65,8 @@ class Harness {
   [[nodiscard]] const HarnessOptions& options() const { return options_; }
 
   [[nodiscard]] monitors::GroundTruth& truth() { return *truth_; }
-  [[nodiscard]] backend::EventStore& store() { return *store_; }
+  [[nodiscard]] store::FlowEventStore& store() { return *store_; }
+  [[nodiscard]] const store::FlowEventStore& store() const { return *store_; }
   [[nodiscard]] core::NetSeerApp& app(std::size_t switch_index) { return *apps_[switch_index]; }
   [[nodiscard]] std::size_t app_count() const { return apps_.size(); }
   [[nodiscard]] core::NetSeerApp* app_for(util::NodeId switch_id);
@@ -131,7 +145,7 @@ class Harness {
   fabric::Testbed testbed_;
   std::unique_ptr<monitors::GroundTruth> truth_;
   std::unique_ptr<core::ReportChannel> channel_;
-  std::unique_ptr<backend::EventStore> store_;
+  std::unique_ptr<store::FlowEventStore> store_;
   std::unique_ptr<backend::Collector> collector_;
   std::vector<std::unique_ptr<core::NetSeerApp>> apps_;
   std::vector<std::unique_ptr<core::NetSeerNicAgent>> nics_;

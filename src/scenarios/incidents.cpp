@@ -23,7 +23,7 @@ void send_paced(net::Host& host, const packet::FlowKey& flow, int count,
 }
 
 /// First backend event for `flow` of one of `types` at/after `onset`.
-util::SimDuration first_detection(backend::EventStore& store, const packet::FlowKey& flow,
+util::SimDuration first_detection(store::FlowEventStore& store, const packet::FlowKey& flow,
                                   std::initializer_list<core::EventType> types,
                                   util::SimTime onset, std::size_t* count_out = nullptr) {
   util::SimTime first = -1;

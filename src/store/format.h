@@ -1,0 +1,108 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "backend/event_store.h"
+#include "core/event.h"
+#include "util/hash.h"
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace netseer::store {
+
+/// On-disk building blocks shared by the WAL and segment files. All
+/// multi-byte integers are little-endian, written byte by byte so the
+/// format is host-independent (same convention as backend/persistence).
+///
+/// Row: one StoredEvent as persisted everywhere in this subsystem — the
+/// 24-byte event wire encoding (§4) plus the backend-side metadata:
+///
+///   event(24) | switch_id u32 | detected_at i64 | stored_at i64   = 44 B
+///
+/// WAL file:   header "NSWL" | version u16 | reserved u16, then records:
+///   record:   magic u16 | kind u8 | reserved u8 | count u16 | pad u16 |
+///             first_lsn u64 | crc u32, then count rows.
+///             crc is CRC-32 over the header (with the crc field zeroed)
+///             and the payload, so a flipped bit anywhere in the record
+///             is detected. Replay stops at the first incomplete or
+///             CRC-failing record: that is the torn tail a crash leaves.
+///
+/// Segment file: header "NSSG" | version u16 | reserved u16 | count u64 |
+///               min_lsn u64 | max_lsn u64 | min_time i64 | max_time i64,
+///               then count rows, then a CRC-32 footer over header+rows.
+///
+/// LSNs are assigned when a shard batch is flushed into the WAL, so the
+/// log is strictly monotonic and a single watermark (the max LSN sealed
+/// into durable segments) tells recovery which WAL suffix to replay.
+
+inline constexpr std::size_t kRowBytes = core::FlowEvent::kWireSize + 4 + 8 + 8;  // 44
+
+inline constexpr char kWalFileMagic[4] = {'N', 'S', 'W', 'L'};
+inline constexpr char kSegFileMagic[4] = {'N', 'S', 'S', 'G'};
+inline constexpr std::uint16_t kStoreVersion = 1;
+
+inline constexpr std::uint16_t kWalRecordMagic = 0x57a1;
+inline constexpr std::uint8_t kWalRecordBatch = 1;
+
+inline constexpr std::size_t kWalFileHeaderBytes = 8;
+inline constexpr std::size_t kWalRecordHeaderBytes = 20;
+inline constexpr std::size_t kSegHeaderBytes = 48;
+
+/// Little-endian scalar encode/decode over a raw byte cursor.
+template <typename T>
+inline void put_le(std::byte* out, T value) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out[i] = static_cast<std::byte>((static_cast<std::uint64_t>(value) >> (8 * i)) & 0xff);
+  }
+}
+
+template <typename T>
+[[nodiscard]] inline T get_le(const std::byte* in) {
+  std::uint64_t accum = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    accum |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(in[i])) << (8 * i);
+  }
+  return static_cast<T>(accum);
+}
+
+/// Encode one stored event into the canonical 44-byte row.
+[[nodiscard]] inline std::array<std::byte, kRowBytes> encode_row(
+    const backend::StoredEvent& stored) {
+  std::array<std::byte, kRowBytes> row{};
+  const auto wire = stored.event.serialize();
+  std::copy(wire.begin(), wire.end(), row.begin());
+  put_le<std::uint32_t>(row.data() + 24, stored.event.switch_id);
+  put_le<std::int64_t>(row.data() + 28, stored.event.detected_at);
+  put_le<std::int64_t>(row.data() + 36, stored.stored_at);
+  return row;
+}
+
+/// Decode a row; nullopt when the embedded event encoding is invalid
+/// (e.g. an unknown event type byte).
+[[nodiscard]] inline std::optional<backend::StoredEvent> decode_row(
+    std::span<const std::byte> row) {
+  if (row.size() < kRowBytes) return std::nullopt;
+  auto event =
+      core::FlowEvent::parse(std::span<const std::byte, core::FlowEvent::kWireSize>(
+          row.data(), core::FlowEvent::kWireSize));
+  if (!event) return std::nullopt;
+  event->switch_id = get_le<std::uint32_t>(row.data() + 24);
+  event->detected_at = get_le<std::int64_t>(row.data() + 28);
+  backend::StoredEvent stored;
+  stored.event = *event;
+  stored.stored_at = get_le<std::int64_t>(row.data() + 36);
+  return stored;
+}
+
+/// One stored event plus the log position that made it durable. The LSN
+/// is the store's total order: queries return rows sorted by it.
+struct Row {
+  backend::StoredEvent stored;
+  std::uint64_t lsn = 0;
+};
+
+}  // namespace netseer::store

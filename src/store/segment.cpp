@@ -1,0 +1,157 @@
+#include "store/segment.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+
+namespace netseer::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+[[nodiscard]] std::optional<std::uint32_t> seg_index(const std::string& filename) {
+  constexpr const char* kPrefix = "seg-";
+  constexpr const char* kSuffix = ".seg";
+  const std::size_t prefix = std::strlen(kPrefix);
+  const std::size_t suffix = std::strlen(kSuffix);
+  if (filename.size() <= prefix + suffix) return std::nullopt;
+  if (filename.compare(0, prefix, kPrefix) != 0) return std::nullopt;
+  if (filename.compare(filename.size() - suffix, suffix, kSuffix) != 0) return std::nullopt;
+  std::uint32_t value = 0;
+  for (std::size_t i = prefix; i < filename.size() - suffix; ++i) {
+    if (filename[i] < '0' || filename[i] > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint32_t>(filename[i] - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string segment_path(const std::string& dir, std::uint32_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%08u.seg", index);
+  return (fs::path(dir) / name).string();
+}
+
+std::vector<SegmentFileRef> list_segment_files(const std::string& dir) {
+  std::vector<SegmentFileRef> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const auto index = seg_index(entry.path().filename().string());
+    if (!index) continue;
+    files.push_back(SegmentFileRef{*index, entry.path().string()});
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SegmentFileRef& a, const SegmentFileRef& b) { return a.index < b.index; });
+  return files;
+}
+
+Segment Segment::build(std::vector<Row> rows, std::uint32_t file_id) {
+  Segment seg;
+  seg.rows_ = std::move(rows);
+  seg.file_id_ = file_id;
+  seg.min_lsn_ = seg.rows_.front().lsn;
+  seg.max_lsn_ = seg.rows_.back().lsn;
+  seg.min_time_ = seg.rows_.front().stored.event.detected_at;
+  seg.max_time_ = seg.min_time_;
+  for (std::uint32_t i = 0; i < seg.rows_.size(); ++i) {
+    const auto& event = seg.rows_[i].stored.event;
+    seg.min_time_ = std::min(seg.min_time_, event.detected_at);
+    seg.max_time_ = std::max(seg.max_time_, event.detected_at);
+    seg.by_flow_[event.flow.hash64()].push_back(i);
+    seg.by_switch_[event.switch_id].push_back(i);
+    const auto raw = static_cast<std::size_t>(event.type);
+    if (raw < seg.type_counts_.size()) ++seg.type_counts_[raw];
+  }
+  return seg;
+}
+
+bool Segment::save(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+
+  std::array<std::byte, kSegHeaderBytes> header{};
+  std::memcpy(header.data(), kSegFileMagic, sizeof(kSegFileMagic));
+  put_le<std::uint16_t>(header.data() + 4, kStoreVersion);
+  put_le<std::uint16_t>(header.data() + 6, 0);
+  put_le<std::uint64_t>(header.data() + 8, rows_.size());
+  put_le<std::uint64_t>(header.data() + 16, min_lsn_);
+  put_le<std::uint64_t>(header.data() + 24, max_lsn_);
+  put_le<std::int64_t>(header.data() + 32, min_time_);
+  put_le<std::int64_t>(header.data() + 40, max_time_);
+
+  std::uint32_t crc = util::crc32_update(0, header);
+  bool ok = std::fwrite(header.data(), 1, header.size(), f) == header.size();
+  for (const Row& row : rows_) {
+    if (!ok) break;
+    const auto encoded = encode_row(row.stored);
+    crc = util::crc32_update(crc, encoded);
+    ok = std::fwrite(encoded.data(), 1, encoded.size(), f) == encoded.size();
+  }
+  std::array<std::byte, 4> footer{};
+  put_le<std::uint32_t>(footer.data(), crc);
+  ok = ok && std::fwrite(footer.data(), 1, footer.size(), f) == footer.size();
+  ok = ok && std::fflush(f) == 0;
+  std::fclose(f);
+  if (!ok) {
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    return false;
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  return !ec;
+}
+
+std::optional<Segment> Segment::load(const std::string& path, std::uint32_t file_id) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+
+  std::array<std::byte, kSegHeaderBytes> header{};
+  if (std::fread(header.data(), 1, header.size(), f) != header.size() ||
+      std::memcmp(header.data(), kSegFileMagic, sizeof(kSegFileMagic)) != 0 ||
+      get_le<std::uint16_t>(header.data() + 4) != kStoreVersion) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+  const std::uint64_t count = get_le<std::uint64_t>(header.data() + 8);
+  const std::uint64_t first_lsn = get_le<std::uint64_t>(header.data() + 16);
+  if (count == 0) {
+    std::fclose(f);
+    return std::nullopt;  // empty segments are never written
+  }
+
+  std::uint32_t crc = util::crc32_update(0, header);
+  std::vector<Row> rows;
+  rows.reserve(count);
+  std::array<std::byte, kRowBytes> raw{};
+  std::uint64_t lsn_cursor = first_lsn;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (std::fread(raw.data(), 1, raw.size(), f) != raw.size()) {
+      std::fclose(f);
+      return std::nullopt;
+    }
+    crc = util::crc32_update(crc, raw);
+    auto stored = decode_row(raw);
+    if (!stored) {
+      std::fclose(f);
+      return std::nullopt;
+    }
+    rows.push_back(Row{*stored, lsn_cursor++});
+  }
+  std::array<std::byte, 4> footer{};
+  const bool footer_ok = std::fread(footer.data(), 1, footer.size(), f) == footer.size();
+  std::fclose(f);
+  if (!footer_ok || get_le<std::uint32_t>(footer.data()) != crc) return std::nullopt;
+
+  Segment seg = build(std::move(rows), file_id);
+  // The header's fences are authoritative for the lsn range (rows only
+  // carry the reconstructed consecutive run); sanity-check agreement.
+  if (seg.max_lsn_ != get_le<std::uint64_t>(header.data() + 24)) return std::nullopt;
+  return seg;
+}
+
+}  // namespace netseer::store

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "store/format.h"
+
+namespace netseer::store {
+
+/// An immutable, time-partitioned run of rows in LSN order, with the
+/// per-segment indexes the query engine intersects instead of scanning:
+/// flow-hash -> rows, device -> rows, per-type row counts, and min/max
+/// time fences over detected_at for pruning time-windowed queries.
+///
+/// A segment is sealed from the memtable (or merged out of smaller
+/// segments by compaction) and never mutated afterwards; the indexes are
+/// rebuilt when a segment file is loaded, so the on-disk format stays a
+/// plain CRC-protected row run.
+class Segment {
+ public:
+  /// Build from rows already sorted by LSN (callers: memtable seal,
+  /// compaction merge, segment-file load). `rows` must be non-empty.
+  static Segment build(std::vector<Row> rows, std::uint32_t file_id = 0);
+
+  [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+  [[nodiscard]] std::uint64_t min_lsn() const { return min_lsn_; }
+  [[nodiscard]] std::uint64_t max_lsn() const { return max_lsn_; }
+  [[nodiscard]] util::SimTime min_time() const { return min_time_; }
+  [[nodiscard]] util::SimTime max_time() const { return max_time_; }
+
+  /// Id of the backing seg-NNNNNNNN.seg file; 0 for memory-only.
+  [[nodiscard]] std::uint32_t file_id() const { return file_id_; }
+  void set_file_id(std::uint32_t id) { file_id_ = id; }
+
+  /// Index lookups; nullptr when the key has no rows in this segment.
+  [[nodiscard]] const std::vector<std::uint32_t>* flow_rows(std::uint64_t flow_hash) const {
+    const auto it = by_flow_.find(flow_hash);
+    return it == by_flow_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>* switch_rows(util::NodeId node) const {
+    const auto it = by_switch_.find(node);
+    return it == by_switch_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] std::uint32_t type_count(core::EventType type) const {
+    const auto raw = static_cast<std::size_t>(type);
+    return raw < type_counts_.size() ? type_counts_[raw] : 0;
+  }
+
+  /// True when [from, to) could contain rows of this segment (fences are
+  /// inclusive on both ends; `to` is exclusive as in EventQuery).
+  [[nodiscard]] bool overlaps(std::optional<util::SimTime> from,
+                              std::optional<util::SimTime> to) const {
+    if (from && max_time_ < *from) return false;
+    if (to && min_time_ >= *to) return false;
+    return true;
+  }
+
+  /// Write as a CRC-protected segment file (via a .tmp + rename so a
+  /// crash mid-seal never leaves a half segment under the final name).
+  [[nodiscard]] bool save(const std::string& path) const;
+
+  /// Load and fully validate a segment file (header, row encodings,
+  /// CRC footer); nullopt on any corruption.
+  [[nodiscard]] static std::optional<Segment> load(const std::string& path,
+                                                   std::uint32_t file_id);
+
+ private:
+  Segment() = default;
+
+  std::vector<Row> rows_;
+  std::uint64_t min_lsn_ = 0;
+  std::uint64_t max_lsn_ = 0;
+  util::SimTime min_time_ = 0;
+  util::SimTime max_time_ = 0;
+  std::uint32_t file_id_ = 0;
+
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> by_flow_;
+  std::unordered_map<util::NodeId, std::vector<std::uint32_t>> by_switch_;
+  std::array<std::uint32_t, 8> type_counts_{};
+};
+
+/// Segment files under `dir` ("seg-NNNNNNNN.seg"), sorted by file id.
+struct SegmentFileRef {
+  std::uint32_t index = 0;
+  std::string path;
+};
+[[nodiscard]] std::vector<SegmentFileRef> list_segment_files(const std::string& dir);
+
+[[nodiscard]] std::string segment_path(const std::string& dir, std::uint32_t index);
+
+}  // namespace netseer::store

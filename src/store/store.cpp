@@ -1,0 +1,496 @@
+#include "store/store.h"
+
+#include <algorithm>
+#include <charconv>
+#include <filesystem>
+#include <unordered_set>
+
+#include "packet/addr.h"
+
+namespace netseer::store {
+
+namespace fs = std::filesystem;
+
+// ---- QueryCursor ---------------------------------------------------------
+
+QueryCursor::QueryCursor(const FlowEventStore& event_store, const backend::EventQuery& query)
+    : store_(&event_store), query_(query) {
+  StoreStats& stats = store_->stats_;
+  ++stats.queries;
+
+  for (const auto& segment : store_->segments_) {
+    if (!segment->overlaps(query_.from, query_.to)) {
+      ++stats.segments_pruned;
+      continue;
+    }
+    if (query_.type && segment->type_count(*query_.type) == 0) {
+      ++stats.segments_pruned;
+      continue;
+    }
+    SegmentPlan plan;
+    plan.segment = segment.get();
+    if (query_.flow) {
+      plan.candidates = segment->flow_rows(query_.flow->hash64());
+      if (plan.candidates == nullptr) {
+        ++stats.segments_pruned;
+        continue;
+      }
+      ++stats.index_hits;
+    } else if (query_.switch_id) {
+      plan.candidates = segment->switch_rows(*query_.switch_id);
+      if (plan.candidates == nullptr) {
+        ++stats.segments_pruned;
+        continue;
+      }
+      ++stats.index_hits;
+    } else {
+      ++stats.full_segment_scans;
+    }
+    ++stats.segments_scanned;
+    segments_.push_back(plan);
+  }
+
+  // Rows not yet sealed: the memtable (already in LSN order), then the
+  // shard buffers in global append order. Shard iteration order is a
+  // hash-map artifact, so sort by the append sequence for determinism.
+  tail_.reserve(store_->memtable_.size());
+  for (const Row& row : store_->memtable_) tail_.push_back(&row.stored);
+  std::vector<std::pair<std::uint64_t, const backend::StoredEvent*>> pending_rows;
+  for (const auto& [node, shard] : store_->shards_) {
+    (void)node;
+    for (const auto& pending : shard.rows) {
+      pending_rows.emplace_back(pending.order, &pending.stored);
+    }
+  }
+  std::sort(pending_rows.begin(), pending_rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [order, stored] : pending_rows) {
+    (void)order;
+    tail_.push_back(stored);
+  }
+}
+
+const backend::StoredEvent* QueryCursor::next() {
+  StoreStats& stats = store_->stats_;
+  while (!in_tail_) {
+    if (segment_idx_ >= segments_.size()) {
+      in_tail_ = true;
+      break;
+    }
+    const SegmentPlan& plan = segments_[segment_idx_];
+    const std::size_t limit =
+        plan.candidates != nullptr ? plan.candidates->size() : plan.segment->rows().size();
+    if (row_idx_ >= limit) {
+      ++segment_idx_;
+      row_idx_ = 0;
+      continue;
+    }
+    const std::size_t row =
+        plan.candidates != nullptr ? (*plan.candidates)[row_idx_] : row_idx_;
+    ++row_idx_;
+    ++stats.rows_examined;
+    const backend::StoredEvent& stored = plan.segment->rows()[row].stored;
+    if (query_.matches(stored)) {
+      ++stats.rows_matched;
+      return &stored;
+    }
+  }
+  while (tail_idx_ < tail_.size()) {
+    const backend::StoredEvent* stored = tail_[tail_idx_++];
+    ++stats.rows_examined;
+    if (query_.matches(*stored)) {
+      ++stats.rows_matched;
+      return stored;
+    }
+  }
+  return nullptr;
+}
+
+// ---- FlowEventStore ------------------------------------------------------
+
+FlowEventStore::FlowEventStore(StoreOptions options) : options_(std::move(options)) {
+  if (options_.shard_batch == 0) options_.shard_batch = 1;
+  if (options_.segment_events == 0) options_.segment_events = 1;
+  if (options_.compact_fanin < 2) options_.compact_fanin = 2;
+  if (durable()) recover_from_dir();
+}
+
+FlowEventStore::~FlowEventStore() {
+  // Clean shutdown makes everything appended durable; a crash between
+  // the last sync and here is what the WAL is for.
+  if (durable() && !wal_dead()) {
+    flush();
+    if (wal_) wal_->sync();
+    durable_lsn_ = std::max(durable_lsn_, next_lsn_ - 1);
+  }
+}
+
+void FlowEventStore::add(const core::FlowEvent& event, util::SimTime now) {
+  Shard& shard = shards_[event.switch_id];
+  shard.rows.push_back(Pending{backend::StoredEvent{event, now}, append_seq_++});
+  ++stats_.appended;
+  if (shard.rows.size() >= options_.shard_batch) flush_shard(shard);
+}
+
+void FlowEventStore::flush_shard(Shard& shard) {
+  if (shard.rows.empty()) return;
+  std::vector<Row> batch;
+  batch.reserve(shard.rows.size());
+  for (const Pending& pending : shard.rows) {
+    batch.push_back(Row{pending.stored, next_lsn_++});
+  }
+  shard.rows.clear();
+  ++stats_.batches_flushed;
+
+  if (wal_ && !wal_->dead()) {
+    if (wal_->append(batch)) {
+      ++stats_.wal_records;
+      if (options_.sync_every_batch && wal_->sync()) {
+        ++stats_.wal_syncs;
+        durable_lsn_ = std::max(durable_lsn_, batch.back().lsn);
+      }
+    } else {
+      ++stats_.wal_append_failures;
+    }
+    stats_.wal_bytes = wal_->bytes_written();
+  }
+
+  memtable_.insert(memtable_.end(), std::make_move_iterator(batch.begin()),
+                   std::make_move_iterator(batch.end()));
+  if (memtable_.size() >= options_.segment_events) seal_active();
+}
+
+void FlowEventStore::flush() {
+  // Hash-map iteration order is not deterministic across platforms;
+  // flush shards in switch-id order so LSN assignment is reproducible.
+  std::vector<util::NodeId> ids;
+  ids.reserve(shards_.size());
+  for (const auto& [node, shard] : shards_) {
+    if (!shard.rows.empty()) ids.push_back(node);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const util::NodeId node : ids) flush_shard(shards_[node]);
+}
+
+bool FlowEventStore::sync() {
+  flush();
+  if (!durable()) {
+    durable_lsn_ = next_lsn_ - 1;
+    return true;
+  }
+  if (!wal_ || wal_->dead() || !wal_->sync()) return false;
+  ++stats_.wal_syncs;
+  durable_lsn_ = std::max(durable_lsn_, next_lsn_ - 1);
+  return true;
+}
+
+void FlowEventStore::seal_active() {
+  if (memtable_.empty()) return;
+  auto segment = std::make_unique<Segment>(Segment::build(std::move(memtable_)));
+  memtable_.clear();
+  if (durable()) {
+    const std::uint32_t file_id = next_segment_file_++;
+    if (segment->save(segment_path(options_.dir, file_id))) {
+      segment->set_file_id(file_id);
+      durable_lsn_ = std::max(durable_lsn_, segment->max_lsn());
+    }
+  }
+  segments_.push_back(std::move(segment));
+  ++stats_.segments_sealed;
+  if (wal_) stats_.wal_files_deleted += wal_->remove_obsolete(sealed_durable_watermark());
+}
+
+std::uint64_t FlowEventStore::sealed_durable_watermark() const {
+  // Advance only across contiguously durable segments: a memory-only
+  // segment in the middle (failed save) still needs its WAL rows.
+  std::uint64_t watermark = sealed_watermark_floor_;
+  for (const auto& segment : segments_) {
+    if (segment->file_id() == 0) break;
+    watermark = segment->max_lsn();
+  }
+  return watermark;
+}
+
+std::size_t FlowEventStore::compact() {
+  std::size_t merges = 0;
+  while (segments_.size() > options_.compact_min_segments) {
+    const std::size_t fanin = std::min(options_.compact_fanin, segments_.size());
+    if (fanin < 2) break;
+    std::vector<Row> merged;
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < fanin; ++i) total += segments_[i]->size();
+    merged.reserve(total);
+    bool inputs_durable = true;
+    for (std::size_t i = 0; i < fanin; ++i) {
+      const auto& seg_rows = segments_[i]->rows();
+      merged.insert(merged.end(), seg_rows.begin(), seg_rows.end());
+      inputs_durable = inputs_durable && segments_[i]->file_id() != 0;
+    }
+    auto segment = std::make_unique<Segment>(Segment::build(std::move(merged)));
+    if (durable() && inputs_durable) {
+      const std::uint32_t file_id = next_segment_file_++;
+      if (!segment->save(segment_path(options_.dir, file_id))) break;  // keep the originals
+      segment->set_file_id(file_id);
+      for (std::size_t i = 0; i < fanin; ++i) {
+        std::error_code ec;
+        fs::remove(segment_path(options_.dir, segments_[i]->file_id()), ec);
+      }
+    }
+    segments_.erase(segments_.begin(), segments_.begin() + static_cast<std::ptrdiff_t>(fanin));
+    segments_.insert(segments_.begin(), std::move(segment));
+    ++merges;
+    ++stats_.compactions;
+    stats_.segments_compacted += fanin;
+  }
+  return merges;
+}
+
+std::size_t FlowEventStore::enforce_retention() {
+  if (options_.retain_events == 0) return 0;
+  std::uint64_t sealed_rows = 0;
+  for (const auto& segment : segments_) sealed_rows += segment->size();
+  std::size_t evicted = 0;
+  while (sealed_rows > options_.retain_events && !segments_.empty()) {
+    const auto& victim = segments_.front();
+    sealed_rows -= victim->size();
+    stats_.events_evicted += victim->size();
+    ++stats_.segments_evicted;
+    sealed_watermark_floor_ = std::max(sealed_watermark_floor_, victim->max_lsn());
+    if (victim->file_id() != 0) {
+      std::error_code ec;
+      fs::remove(segment_path(options_.dir, victim->file_id()), ec);
+    }
+    segments_.erase(segments_.begin());
+    ++evicted;
+  }
+  return evicted;
+}
+
+void FlowEventStore::maintain() {
+  compact();
+  enforce_retention();
+  if (wal_) stats_.wal_files_deleted += wal_->remove_obsolete(sealed_durable_watermark());
+}
+
+void FlowEventStore::checkpoint() {
+  flush();
+  seal_active();
+  if (wal_ && !wal_->dead() && wal_->sync()) ++stats_.wal_syncs;
+  maintain();
+  const std::uint64_t watermark = sealed_durable_watermark();
+  if (!legacy_wal_files_.empty() && watermark >= legacy_wal_max_lsn_) {
+    for (const auto& path : legacy_wal_files_) {
+      std::error_code ec;
+      if (fs::remove(path, ec) && !ec) ++stats_.wal_files_deleted;
+    }
+    legacy_wal_files_.clear();
+  }
+}
+
+sim::TaskHandle FlowEventStore::start_maintenance(sim::Simulator& sim,
+                                                  util::SimDuration interval) {
+  return sim.schedule_every(interval, [this] { maintain(); });
+}
+
+void FlowEventStore::recover_from_dir() {
+  fs::create_directories(options_.dir);
+  recovery_.ran = true;
+
+  std::uint32_t max_file_id = 0;
+  for (const auto& ref : list_segment_files(options_.dir)) {
+    max_file_id = std::max(max_file_id, ref.index);
+    auto segment = Segment::load(ref.path, ref.index);
+    if (!segment) {
+      ++recovery_.segments_corrupt;
+      continue;
+    }
+    ++recovery_.segments_loaded;
+    recovery_.segment_rows += segment->size();
+    segments_.push_back(std::make_unique<Segment>(std::move(*segment)));
+  }
+  next_segment_file_ = max_file_id + 1;
+  // File ids track seal time, not row age (compaction outputs get fresh
+  // ids), so order the loaded segments by their LSN fences.
+  std::sort(segments_.begin(), segments_.end(),
+            [](const auto& a, const auto& b) { return a->min_lsn() < b->min_lsn(); });
+
+  std::uint64_t watermark = 0;
+  for (const auto& segment : segments_) watermark = std::max(watermark, segment->max_lsn());
+
+  const WalReplayResult replay = replay_wal_dir(options_.dir, watermark, [this](Row&& row) {
+    memtable_.push_back(std::move(row));
+  });
+  recovery_.wal_records_replayed = replay.records;
+  recovery_.wal_rows_replayed = replay.rows;
+  recovery_.wal_rows_skipped = replay.skipped_rows;
+  recovery_.torn_tail = replay.torn_tail;
+  recovery_.max_lsn = std::max(watermark, replay.max_lsn);
+
+  next_lsn_ = recovery_.max_lsn + 1;
+  durable_lsn_ = recovery_.max_lsn;
+  append_seq_ = 0;
+
+  for (const auto& ref : list_wal_files(options_.dir)) {
+    legacy_wal_files_.push_back(ref.path);
+  }
+  legacy_wal_max_lsn_ = replay.max_lsn;
+
+  WalWriter::Options wal_options;
+  wal_options.dir = options_.dir;
+  wal_options.segment_bytes = options_.wal_segment_bytes;
+  wal_ = std::make_unique<WalWriter>(wal_options, replay.last_file_index + 1);
+}
+
+QueryCursor FlowEventStore::scan(const backend::EventQuery& event_query) const {
+  return QueryCursor(*this, event_query);
+}
+
+std::vector<backend::StoredEvent> FlowEventStore::query(
+    const backend::EventQuery& event_query) const {
+  std::vector<backend::StoredEvent> out;
+  QueryCursor cursor = scan(event_query);
+  while (const backend::StoredEvent* stored = cursor.next()) out.push_back(*stored);
+  return out;
+}
+
+std::size_t FlowEventStore::count(const backend::EventQuery& event_query) const {
+  std::size_t n = 0;
+  QueryCursor cursor = scan(event_query);
+  while (cursor.next() != nullptr) ++n;
+  return n;
+}
+
+std::size_t FlowEventStore::size() const {
+  std::size_t total = memtable_.size();
+  for (const auto& segment : segments_) total += segment->size();
+  for (const auto& [node, shard] : shards_) {
+    (void)node;
+    total += shard.rows.size();
+  }
+  return total;
+}
+
+std::vector<backend::StoredEvent> FlowEventStore::all() const {
+  return query(backend::EventQuery{});
+}
+
+std::vector<packet::FlowKey> FlowEventStore::distinct_flows(
+    const backend::EventQuery& event_query) const {
+  std::unordered_set<packet::FlowKey, packet::FlowKeyHash> seen;
+  std::vector<packet::FlowKey> out;
+  QueryCursor cursor = scan(event_query);
+  while (const backend::StoredEvent* stored = cursor.next()) {
+    if (seen.insert(stored->event.flow).second) out.push_back(stored->event.flow);
+  }
+  return out;
+}
+
+std::uint64_t FlowEventStore::total_counter(const backend::EventQuery& event_query) const {
+  std::uint64_t total = 0;
+  QueryCursor cursor = scan(event_query);
+  while (const backend::StoredEvent* stored = cursor.next()) total += stored->event.counter;
+  return total;
+}
+
+void FlowEventStore::crash_after_wal_bytes(std::uint64_t budget) {
+  if (wal_) wal_->fail_after_bytes(budget);
+}
+
+// ---- Query spec parsing --------------------------------------------------
+
+namespace {
+
+[[nodiscard]] bool parse_int(std::string_view text, std::int64_t& out) {
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+[[nodiscard]] std::optional<core::EventType> parse_type(std::string_view name) {
+  for (const core::EventType type :
+       {core::EventType::kDrop, core::EventType::kCongestion, core::EventType::kPathChange,
+        core::EventType::kPause, core::EventType::kAclDrop}) {
+    if (name == core::to_string(type)) return type;
+  }
+  return std::nullopt;
+}
+
+/// "<addr>:<port>" -> (addr, port).
+[[nodiscard]] bool parse_endpoint(std::string_view text, packet::Ipv4Addr& addr,
+                                  std::uint16_t& port) {
+  const auto colon = text.rfind(':');
+  if (colon == std::string_view::npos) return false;
+  const auto parsed = packet::Ipv4Addr::parse(std::string(text.substr(0, colon)));
+  if (!parsed) return false;
+  std::int64_t value = 0;
+  if (!parse_int(text.substr(colon + 1), value) || value < 0 || value > 0xffff) return false;
+  addr = *parsed;
+  port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+[[nodiscard]] bool parse_flow(std::string_view text, packet::FlowKey& flow) {
+  const auto arrow = text.find('>');
+  const auto slash = text.rfind('/');
+  if (arrow == std::string_view::npos || slash == std::string_view::npos || slash < arrow) {
+    return false;
+  }
+  std::int64_t proto = 0;
+  if (!parse_int(text.substr(slash + 1), proto) || proto < 0 || proto > 255) return false;
+  packet::FlowKey parsed;
+  if (!parse_endpoint(text.substr(0, arrow), parsed.src, parsed.sport)) return false;
+  if (!parse_endpoint(text.substr(arrow + 1, slash - arrow - 1), parsed.dst, parsed.dport)) {
+    return false;
+  }
+  parsed.proto = static_cast<std::uint8_t>(proto);
+  flow = parsed;
+  return true;
+}
+
+}  // namespace
+
+std::optional<backend::EventQuery> parse_query(const std::string& spec, std::string* error) {
+  backend::EventQuery query;
+  std::string_view rest = spec;
+  const auto fail = [&](const std::string& message) -> std::optional<backend::EventQuery> {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    std::string_view term = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{} : rest.substr(comma + 1);
+    if (term.empty()) continue;
+    const auto eq = term.find('=');
+    if (eq == std::string_view::npos) return fail("expected key=value: " + std::string(term));
+    const std::string_view key = term.substr(0, eq);
+    const std::string_view value = term.substr(eq + 1);
+    if (key == "type") {
+      const auto type = parse_type(value);
+      if (!type) return fail("unknown event type: " + std::string(value));
+      query.type = *type;
+    } else if (key == "switch") {
+      std::int64_t node = 0;
+      if (!parse_int(value, node) || node < 0) return fail("bad switch id");
+      query.switch_id = static_cast<util::NodeId>(node);
+    } else if (key == "from") {
+      std::int64_t t = 0;
+      if (!parse_int(value, t)) return fail("bad from= timestamp");
+      query.from = t;
+    } else if (key == "to") {
+      std::int64_t t = 0;
+      if (!parse_int(value, t)) return fail("bad to= timestamp");
+      query.to = t;
+    } else if (key == "flow") {
+      packet::FlowKey flow;
+      if (!parse_flow(value, flow)) {
+        return fail("bad flow spec (want src:sport>dst:dport/proto)");
+      }
+      query.flow = flow;
+    } else {
+      return fail("unknown query key: " + std::string(key));
+    }
+  }
+  return query;
+}
+
+}  // namespace netseer::store

@@ -1,0 +1,255 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "backend/event_sink.h"
+#include "backend/event_store.h"
+#include "sim/simulator.h"
+#include "store/segment.h"
+#include "store/wal.h"
+
+namespace netseer::store {
+
+/// Tuning and placement knobs for FlowEventStore. An empty `dir` runs
+/// the store fully in memory (same sharding/sealing/compaction
+/// lifecycle, no WAL, no segment files) — the default for simulations;
+/// a directory makes every ingested event durable.
+struct StoreOptions {
+  std::string dir;
+
+  /// Per-switch ingest buffer: one WAL record (and one memtable append
+  /// run) per `shard_batch` events from the same reporting switch.
+  std::size_t shard_batch = 128;
+
+  /// Seal the memtable into an immutable segment at this many rows.
+  std::size_t segment_events = 4096;
+
+  /// Compaction trigger/shape: once more than `compact_min_segments`
+  /// are sealed, merge the `compact_fanin` oldest into one.
+  std::size_t compact_min_segments = 8;
+  std::size_t compact_fanin = 4;
+
+  /// Retention budget over sealed rows; 0 keeps everything. Eviction
+  /// drops whole oldest segments and counts every dropped event.
+  std::uint64_t retain_events = 0;
+
+  /// WAL file rotation threshold (smaller files = finer checkpointing).
+  std::uint64_t wal_segment_bytes = 1ull << 20u;
+
+  /// Make every flushed batch an fsync point (slower, smallest possible
+  /// loss window). Off by default: sync() and seals are the ack points.
+  bool sync_every_batch = false;
+};
+
+/// Everything the store counts, exported via telemetry::collect. The
+/// query-side counters live here too (a cursor over a const store still
+/// accounts its pruning), hence the mutable registration in the store.
+struct StoreStats {
+  // Ingest.
+  std::uint64_t appended = 0;
+  std::uint64_t batches_flushed = 0;
+
+  // Durability.
+  std::uint64_t wal_records = 0;
+  std::uint64_t wal_bytes = 0;
+  std::uint64_t wal_syncs = 0;
+  std::uint64_t wal_files_deleted = 0;
+  std::uint64_t wal_append_failures = 0;
+
+  // Storage lifecycle.
+  std::uint64_t segments_sealed = 0;
+  std::uint64_t compactions = 0;
+  std::uint64_t segments_compacted = 0;
+  std::uint64_t segments_evicted = 0;
+  std::uint64_t events_evicted = 0;
+
+  // Query engine.
+  std::uint64_t queries = 0;
+  std::uint64_t segments_scanned = 0;
+  std::uint64_t segments_pruned = 0;
+  std::uint64_t index_hits = 0;
+  std::uint64_t full_segment_scans = 0;
+  std::uint64_t rows_examined = 0;
+  std::uint64_t rows_matched = 0;
+};
+
+/// What opening a store directory found and replayed.
+struct RecoveryInfo {
+  bool ran = false;
+  std::uint64_t segments_loaded = 0;
+  std::uint64_t segments_corrupt = 0;
+  std::uint64_t segment_rows = 0;
+  std::uint64_t wal_records_replayed = 0;
+  std::uint64_t wal_rows_replayed = 0;
+  std::uint64_t wal_rows_skipped = 0;  // already sealed into segments
+  bool torn_tail = false;
+  std::uint64_t max_lsn = 0;
+};
+
+class FlowEventStore;
+
+/// Streaming view over one query's matches, in the store's total order
+/// (LSN order for flushed rows, then append order for rows still in
+/// shard buffers). The plan — which segments were pruned by time fence
+/// or type count, which use an index — is fixed at construction; rows
+/// are filtered lazily as next() advances. Valid until the store is
+/// mutated (append/flush/maintain), like an iterator.
+class QueryCursor {
+ public:
+  /// The next matching event, or nullptr when exhausted.
+  [[nodiscard]] const backend::StoredEvent* next();
+
+ private:
+  friend class FlowEventStore;
+  struct SegmentPlan {
+    const Segment* segment = nullptr;
+    const std::vector<std::uint32_t>* candidates = nullptr;  // null = scan all rows
+  };
+
+  QueryCursor(const FlowEventStore& store, const backend::EventQuery& query);
+
+  const FlowEventStore* store_ = nullptr;
+  backend::EventQuery query_;
+  std::vector<SegmentPlan> segments_;
+  // Memtable rows then pending shard rows, in emission order.
+  std::vector<const backend::StoredEvent*> tail_;
+  std::size_t segment_idx_ = 0;
+  std::size_t row_idx_ = 0;
+  std::size_t tail_idx_ = 0;
+  bool in_tail_ = false;
+};
+
+/// The durable, sharded flow-event store behind the backend collector:
+/// per-switch batch buffers feed a CRC-framed write-ahead log, rows
+/// accumulate in a memtable that seals into immutable time-partitioned
+/// segments with per-segment indexes, background maintenance compacts
+/// and applies retention, and queries intersect segment indexes instead
+/// of scanning. Drop-in query-compatible with backend::EventStore.
+class FlowEventStore final : public backend::EventSink {
+ public:
+  explicit FlowEventStore(StoreOptions options = {});
+  ~FlowEventStore() override;
+
+  FlowEventStore(const FlowEventStore&) = delete;
+  FlowEventStore& operator=(const FlowEventStore&) = delete;
+
+  // ---- Ingest ----------------------------------------------------------
+  /// Append through the per-switch shard buffer (EventSink entry point).
+  void add(const core::FlowEvent& event, util::SimTime now) override;
+
+  /// Flush every shard buffer into the WAL + memtable.
+  void flush();
+
+  /// flush() plus a WAL sync: everything appended so far is acknowledged
+  /// durable on return (in-memory stores trivially return true).
+  bool sync();
+
+  /// Highest LSN known durable (synced WAL or sealed durable segment).
+  [[nodiscard]] std::uint64_t durable_lsn() const { return durable_lsn_; }
+
+  // ---- Lifecycle -------------------------------------------------------
+  /// Seal the memtable into an immutable segment now (no-op when empty).
+  void seal_active();
+
+  /// Merge the oldest segments while over the compaction threshold;
+  /// returns the number of merges performed.
+  std::size_t compact();
+
+  /// Enforce the retention budget; returns segments evicted.
+  std::size_t enforce_retention();
+
+  /// One background maintenance round: compaction, retention, WAL GC.
+  void maintain();
+
+  /// Clean shutdown / `netseer_store recover`: flush, seal, sync, and
+  /// garbage-collect every WAL file made obsolete by sealed segments.
+  void checkpoint();
+
+  /// Schedule maintain() every `interval` on `sim`. Cancel the returned
+  /// handle before draining the simulation (a periodic task keeps the
+  /// event queue alive).
+  sim::TaskHandle start_maintenance(sim::Simulator& sim, util::SimDuration interval);
+
+  // ---- Query (interface-compatible with backend::EventStore) -----------
+  [[nodiscard]] QueryCursor scan(const backend::EventQuery& query) const;
+  [[nodiscard]] std::vector<backend::StoredEvent> query(const backend::EventQuery& query) const;
+  [[nodiscard]] std::size_t count(const backend::EventQuery& query) const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::vector<backend::StoredEvent> all() const;
+  [[nodiscard]] std::vector<packet::FlowKey> distinct_flows(
+      const backend::EventQuery& query) const;
+  [[nodiscard]] std::uint64_t total_counter(const backend::EventQuery& query) const;
+
+  // ---- Introspection ---------------------------------------------------
+  [[nodiscard]] const StoreStats& stats() const { return stats_; }
+  [[nodiscard]] const RecoveryInfo& recovery() const { return recovery_; }
+  [[nodiscard]] const StoreOptions& options() const { return options_; }
+  [[nodiscard]] std::size_t segment_count() const { return segments_.size(); }
+  [[nodiscard]] const std::vector<std::unique_ptr<Segment>>& segments() const {
+    return segments_;
+  }
+  [[nodiscard]] bool durable() const { return !options_.dir.empty(); }
+
+  // ---- Crash fault injection (recovery property tests) -----------------
+  /// Let only `budget` more bytes reach the WAL, then tear it off
+  /// mid-write — the store keeps running in memory as if the disk died.
+  void crash_after_wal_bytes(std::uint64_t budget);
+  [[nodiscard]] bool wal_dead() const { return wal_ && wal_->dead(); }
+
+ private:
+  friend class QueryCursor;
+
+  struct Pending {
+    backend::StoredEvent stored;
+    std::uint64_t order = 0;  // global append sequence, pre-LSN
+  };
+  struct Shard {
+    std::vector<Pending> rows;
+  };
+
+  void flush_shard(Shard& shard);
+  void recover_from_dir();
+  /// Watermark for WAL GC: max LSN sealed into *durable* segments.
+  [[nodiscard]] std::uint64_t sealed_durable_watermark() const;
+
+  StoreOptions options_;
+  std::unique_ptr<WalWriter> wal_;
+  RecoveryInfo recovery_;
+  mutable StoreStats stats_;  // query counters tick under const
+
+  std::unordered_map<util::NodeId, Shard> shards_;
+  std::uint64_t append_seq_ = 0;  // orders rows not yet assigned an LSN
+  std::uint64_t next_lsn_ = 1;
+  std::uint64_t durable_lsn_ = 0;
+
+  std::vector<Row> memtable_;
+  std::vector<std::unique_ptr<Segment>> segments_;  // oldest first (LSN order)
+  std::uint32_t next_segment_file_ = 1;
+  /// Max LSN of evicted durable segments: the WAL-GC walk resumes here.
+  std::uint64_t sealed_watermark_floor_ = 0;
+
+  /// WAL files found at recovery (not owned by the current writer);
+  /// deletable once checkpoint() has sealed everything they cover.
+  std::vector<std::string> legacy_wal_files_;
+  std::uint64_t legacy_wal_max_lsn_ = 0;
+};
+
+/// Parse a compact query spec, shared by `netseer_sim --store-query` and
+/// `netseer_store query`. Comma-separated key=value terms:
+///
+///   type=drop|congestion|path-change|pause|acl-drop
+///   switch=<node id>
+///   from=<ns>   to=<ns>        (detected_at window, to exclusive)
+///   flow=<src>:<sport> ">" <dst>:<dport>/<proto>
+///       e.g. flow=10.0.0.1:1234>10.0.0.2:80/6
+///
+/// Returns nullopt and fills `error` on a malformed spec.
+[[nodiscard]] std::optional<backend::EventQuery> parse_query(const std::string& spec,
+                                                             std::string* error = nullptr);
+
+}  // namespace netseer::store

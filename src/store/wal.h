@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "store/format.h"
+
+namespace netseer::store {
+
+/// One WAL file on disk, as listed by list_wal_files.
+struct WalFileRef {
+  std::uint32_t index = 0;
+  std::string path;
+  std::uint64_t bytes = 0;
+};
+
+/// WAL files under `dir`, sorted by file index.
+[[nodiscard]] std::vector<WalFileRef> list_wal_files(const std::string& dir);
+
+/// Outcome of replaying a WAL directory (see replay_wal_dir).
+struct WalReplayResult {
+  std::uint64_t files = 0;
+  std::uint64_t records = 0;       // complete, CRC-clean records replayed
+  std::uint64_t rows = 0;          // rows delivered to the callback
+  std::uint64_t skipped_rows = 0;  // rows at or below the segment watermark
+  std::uint64_t max_lsn = 0;       // highest LSN seen (0 when empty)
+  std::uint32_t last_file_index = 0;
+  bool torn_tail = false;  // replay stopped at an incomplete/corrupt record
+};
+
+/// Replay every WAL file under `dir` in file order, delivering each row
+/// with LSN > `watermark` (rows at or below it are already sealed into
+/// durable segments). Stops — cleanly, by design — at the first
+/// incomplete or CRC-failing record: everything after a torn record is
+/// unordered garbage, so recovery keeps the longest valid prefix.
+WalReplayResult replay_wal_dir(const std::string& dir, std::uint64_t watermark,
+                               const std::function<void(Row&&)>& emit);
+
+/// Segmented, CRC-framed append log. Each append() frames one shard
+/// batch as a single record; sync() flushes it to the OS, which is the
+/// store's acknowledgement point. Files rotate at `segment_bytes` so
+/// checkpointing can reclaim whole files once their rows are sealed
+/// into durable segments (remove_obsolete).
+///
+/// Crash fault injection for the recovery property tests: after
+/// fail_after_bytes(n), only the next n bytes reach the file — a write
+/// that crosses the budget is truncated mid-record and every later byte
+/// is dropped, exactly the torn tail a power cut leaves behind.
+class WalWriter {
+ public:
+  struct Options {
+    std::string dir;                            // empty = disabled (in-memory store)
+    std::uint64_t segment_bytes = 1ull << 20u;  // rotate after ~1 MiB
+  };
+
+  WalWriter() = default;
+  explicit WalWriter(const Options& options, std::uint32_t first_file_index = 1);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  [[nodiscard]] bool enabled() const { return !options_.dir.empty(); }
+
+  /// Frame `rows` (which already carry consecutive LSNs) as one record
+  /// and append it. Returns false once the writer is dead (fault budget
+  /// exhausted or an I/O error), in which case nothing more will reach
+  /// disk — the store keeps running in memory, counting the failure.
+  bool append(std::span<const Row> rows);
+
+  /// Flush buffered bytes to the OS. Rows appended before a successful
+  /// sync() are the store's acknowledged (durable) set.
+  bool sync();
+
+  /// Delete every closed WAL file whose rows are all at or below
+  /// `sealed_watermark`, rotating away from the current file first when
+  /// everything in it is covered too. Returns files deleted.
+  std::size_t remove_obsolete(std::uint64_t sealed_watermark);
+
+  /// Fault injection: allow only `budget` more bytes to reach disk.
+  void fail_after_bytes(std::uint64_t budget) {
+    fail_armed_ = true;
+    fail_budget_ = budget;
+  }
+  [[nodiscard]] bool dead() const { return dead_; }
+
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
+  [[nodiscard]] std::uint64_t records_written() const { return records_written_; }
+  [[nodiscard]] std::uint64_t syncs() const { return syncs_; }
+  [[nodiscard]] std::uint64_t files_opened() const { return files_opened_; }
+  [[nodiscard]] std::uint64_t files_deleted() const { return files_deleted_; }
+  [[nodiscard]] std::uint64_t synced_bytes() const { return synced_bytes_; }
+
+ private:
+  struct FileInfo {
+    std::uint32_t index = 0;
+    std::string path;
+    std::uint64_t max_lsn = 0;
+    bool open = false;
+  };
+
+  bool open_next_file();
+  void close_current();
+  /// Write through the fault gate; flips dead_ when the budget runs out.
+  bool write_raw(const std::byte* data, std::size_t n);
+
+  Options options_;
+  std::FILE* file_ = nullptr;
+  std::uint32_t next_index_ = 1;
+  std::uint64_t current_bytes_ = 0;
+  std::vector<FileInfo> files_;
+
+  bool fail_armed_ = false;
+  std::uint64_t fail_budget_ = 0;
+  bool dead_ = false;
+
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t synced_bytes_ = 0;
+  std::uint64_t records_written_ = 0;
+  std::uint64_t syncs_ = 0;
+  std::uint64_t files_opened_ = 0;
+  std::uint64_t files_deleted_ = 0;
+};
+
+}  // namespace netseer::store

@@ -9,6 +9,7 @@
 #include "pdp/resources.h"
 #include "pdp/switch.h"
 #include "sim/simulator.h"
+#include "store/store.h"
 
 namespace netseer::telemetry {
 
@@ -16,6 +17,7 @@ namespace {
 constexpr std::string_view kPdp = "pdp";
 constexpr std::string_view kCore = "core";
 constexpr std::string_view kBackend = "backend";
+constexpr std::string_view kStore = "store";
 constexpr std::string_view kSim = "sim";
 }  // namespace
 
@@ -167,10 +169,38 @@ void collect(Registry& registry, const backend::Collector& collector) {
   registry.counter(kBackend, "segments_received", node).add(collector.segments_received());
   registry.counter(kBackend, "duplicate_segments", node).add(collector.duplicate_segments());
   registry.counter(kBackend, "events_ingested", node).add(collector.events_stored());
+  registry.counter(kBackend, "window_drops", node).add(collector.window_dropped_segments());
 }
 
 void collect(Registry& registry, const backend::EventStore& store) {
   registry.gauge(kBackend, "store.events").update_max(static_cast<std::int64_t>(store.size()));
+}
+
+void collect(Registry& registry, const store::FlowEventStore& flow_store) {
+  const auto& s = flow_store.stats();
+  registry.counter(kStore, "appended").add(s.appended);
+  registry.counter(kStore, "batches_flushed").add(s.batches_flushed);
+  registry.counter(kStore, "wal.records").add(s.wal_records);
+  registry.counter(kStore, "wal.bytes").add(s.wal_bytes);
+  registry.counter(kStore, "wal.syncs").add(s.wal_syncs);
+  registry.counter(kStore, "wal.files_deleted").add(s.wal_files_deleted);
+  registry.counter(kStore, "wal.append_failures").add(s.wal_append_failures);
+  registry.counter(kStore, "segments_sealed").add(s.segments_sealed);
+  registry.counter(kStore, "compactions").add(s.compactions);
+  registry.counter(kStore, "segments_compacted").add(s.segments_compacted);
+  registry.counter(kStore, "segments_evicted").add(s.segments_evicted);
+  registry.counter(kStore, "events_evicted").add(s.events_evicted);
+  registry.counter(kStore, "query.queries").add(s.queries);
+  registry.counter(kStore, "query.segments_scanned").add(s.segments_scanned);
+  registry.counter(kStore, "query.segments_pruned").add(s.segments_pruned);
+  registry.counter(kStore, "query.index_hits").add(s.index_hits);
+  registry.counter(kStore, "query.full_segment_scans").add(s.full_segment_scans);
+  registry.counter(kStore, "query.rows_examined").add(s.rows_examined);
+  registry.counter(kStore, "query.rows_matched").add(s.rows_matched);
+  registry.gauge(kStore, "store.events")
+      .update_max(static_cast<std::int64_t>(flow_store.size()));
+  registry.gauge(kStore, "store.segments")
+      .update_max(static_cast<std::int64_t>(flow_store.segment_count()));
 }
 
 void collect(Registry& registry, const sim::Simulator& sim, double wall_seconds) {

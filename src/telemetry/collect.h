@@ -13,6 +13,9 @@ namespace netseer::backend {
 class Collector;
 class EventStore;
 }
+namespace netseer::store {
+class FlowEventStore;
+}
 namespace netseer::sim {
 class Simulator;
 }
@@ -43,11 +46,20 @@ void collect(Registry& registry, const pdp::ResourceModel& model, util::NodeId n
 /// retransmits/acks, funnel byte accounting. Node = the switch's id.
 void collect(Registry& registry, const core::NetSeerApp& app);
 
-/// Subsystem "backend": segments/events ingested, duplicates removed.
+/// Subsystem "backend": segments/events ingested, duplicates removed,
+/// reorder-window drops.
 void collect(Registry& registry, const backend::Collector& collector);
 
 /// Subsystem "backend": current store population (global gauge).
 void collect(Registry& registry, const backend::EventStore& store);
+
+/// Subsystem "store": the durable store's lifecycle counters — ingest
+/// (events appended, batches flushed), WAL traffic (records/bytes/syncs,
+/// files GC'd, injected append failures), segment lifecycle (sealed,
+/// compactions, evicted), query-engine work (queries, segments
+/// scanned/pruned, index hits, full scans, rows examined/matched) — plus
+/// population gauges store.events / store.segments.
+void collect(Registry& registry, const store::FlowEventStore& store);
 
 /// Subsystem "sim": events processed, virtual time, wall-clock cost per
 /// simulated second (pass the wall time the caller measured), engine

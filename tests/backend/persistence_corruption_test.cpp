@@ -1,0 +1,108 @@
+// Satellite: corruption-handling tests for the backend store file format.
+// Every mutation of a valid stream — truncation at any byte boundary, a
+// bad magic, a wrong version, a flipped bit anywhere — must make
+// load_store fail AND leave the target store exactly as it was (the
+// atomic-load contract: parse into scratch, commit only after the CRC
+// footer validates).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "backend/persistence.h"
+#include "core/event.h"
+
+namespace netseer::backend {
+namespace {
+
+core::FlowEvent sample_event(std::uint16_t sport, core::EventType type) {
+  auto ev = core::make_event(type,
+                             packet::FlowKey{packet::Ipv4Addr::from_octets(192, 168, 0, 1),
+                                             packet::Ipv4Addr::from_octets(192, 168, 0, 2), 6,
+                                             sport, 443},
+                             /*switch_id=*/5, /*now=*/1000 + sport);
+  ev.counter = 7;
+  return ev;
+}
+
+class PersistenceCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EventStore source;
+    source.add(sample_event(1001, core::EventType::kDrop), 2000);
+    source.add(sample_event(1002, core::EventType::kCongestion), 2001);
+    source.add(sample_event(1003, core::EventType::kAclDrop), 2002);
+    std::ostringstream out;
+    ASSERT_TRUE(save_store(source, out));
+    bytes_ = out.str();
+
+    // The target already holds one event; corrupt loads must not touch it.
+    preexisting_ = sample_event(9999, core::EventType::kPause);
+    target_.add(preexisting_, 1);
+  }
+
+  void expect_rejected(const std::string& mangled, const std::string& what) {
+    std::istringstream in(mangled);
+    EXPECT_FALSE(load_store(target_, in)) << what;
+    ASSERT_EQ(target_.size(), 1u) << what << ": partial state leaked into the target";
+    EXPECT_EQ(target_.all()[0].event, preexisting_) << what;
+    EXPECT_EQ(target_.all()[0].stored_at, 1) << what;
+  }
+
+  std::string bytes_;
+  EventStore target_;
+  core::FlowEvent preexisting_;
+};
+
+TEST_F(PersistenceCorruptionTest, ValidStreamLoadsAndMerges) {
+  std::istringstream in(bytes_);
+  ASSERT_TRUE(load_store(target_, in));
+  EXPECT_EQ(target_.size(), 4u);  // preexisting + 3 loaded
+  EXPECT_EQ(target_.all()[0].event, preexisting_);
+}
+
+TEST_F(PersistenceCorruptionTest, TruncationAtEveryByteBoundaryRejected) {
+  // Covers every field boundary by construction: header magic, version,
+  // count, each record field, and the CRC footer.
+  for (std::size_t keep = 0; keep < bytes_.size(); ++keep) {
+    expect_rejected(bytes_.substr(0, keep),
+                    "truncated to " + std::to_string(keep) + " bytes");
+  }
+}
+
+TEST_F(PersistenceCorruptionTest, BadMagicRejected) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    auto mangled = bytes_;
+    mangled[i] = static_cast<char>(mangled[i] ^ 0x20);
+    expect_rejected(mangled, "magic byte " + std::to_string(i));
+  }
+}
+
+TEST_F(PersistenceCorruptionTest, VersionMismatchRejected) {
+  auto mangled = bytes_;
+  mangled[4] = static_cast<char>(kStoreFormatVersion + 1);  // version u16 LE at offset 4
+  expect_rejected(mangled, "future version");
+  mangled[4] = 0;
+  expect_rejected(mangled, "version 0");
+}
+
+TEST_F(PersistenceCorruptionTest, FlippedBitAnywhereRejected) {
+  // Any single flipped bit — record payload, count field, CRC footer —
+  // must fail the checksum (or field validation) and leave no trace.
+  for (std::size_t i = 0; i < bytes_.size(); ++i) {
+    auto mangled = bytes_;
+    mangled[i] = static_cast<char>(mangled[i] ^ 0x01);
+    expect_rejected(mangled, "flipped bit at offset " + std::to_string(i));
+  }
+}
+
+TEST_F(PersistenceCorruptionTest, TrailingGarbageRejected) {
+  expect_rejected(bytes_ + std::string(3, '\x5a'), "trailing garbage");
+}
+
+TEST_F(PersistenceCorruptionTest, EmptyStreamRejected) {
+  expect_rejected("", "empty stream");
+}
+
+}  // namespace
+}  // namespace netseer::backend

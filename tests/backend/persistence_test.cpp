@@ -85,11 +85,12 @@ TEST(Persistence, RejectsTruncatedInput) {
   ASSERT_TRUE(save_store(original, buffer));
   const std::string full = buffer.str();
 
-  // Cut mid-record: load fails but keeps the complete records read so far.
+  // Cut mid-record: load fails and leaves the target completely untouched
+  // (no partial prefix — the stream is parsed into a scratch store first).
   std::stringstream truncated(full.substr(0, full.size() - 10));
   EventStore loaded;
   EXPECT_FALSE(load_store(loaded, truncated));
-  EXPECT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.size(), 0u);
 }
 
 TEST(Persistence, RejectsWrongVersion) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "backend/collector.h"
+#include "backend/event_store.h"
 #include "core/nic_agent.h"
 #include "fabric/network.h"
 #include "packet/builder.h"

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "backend/collector.h"
+#include "backend/event_store.h"
 #include "core/reliable.h"
 
 namespace netseer::core {

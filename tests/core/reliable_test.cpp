@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "backend/collector.h"
+#include "backend/event_store.h"
 
 namespace netseer::core {
 namespace {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "backend/collector.h"
+#include "backend/event_store.h"
 #include "core/netseer_app.h"
 #include "core/nic_agent.h"
 #include "fabric/network.h"

@@ -1,0 +1,183 @@
+// netseer_store — operate on a flow-event store directory offline.
+//
+//   netseer_store inspect <dir>            list segments, WAL files, fences
+//   netseer_store recover <dir>            replay the WAL, seal, checkpoint
+//   netseer_store compact <dir>            force compaction + checkpoint
+//   netseer_store query <dir> <spec>       run a query (see --help for spec)
+//   netseer_store gen <dir> [n] [torn]     synthesize a store; optional torn
+//                                          WAL tail after `torn` bytes
+//
+// `recover` is what an operator (or the CI recovery job) runs over a
+// directory left behind by a crash: it replays the log to the last valid
+// record, reports what was recovered and whether the tail was torn, and
+// rewrites the directory into a clean checkpointed state.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/event.h"
+#include "store/store.h"
+
+using namespace netseer;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <inspect|recover|compact|query|gen> <dir> [args]\n"
+               "  inspect <dir>\n"
+               "  recover <dir>\n"
+               "  compact <dir>\n"
+               "  query <dir> <spec>   spec: type=drop,switch=3,from=0,to=1000000,\n"
+               "                       flow=10.0.0.1:1234>10.0.0.2:80/6\n"
+               "  gen <dir> [events] [torn-after-bytes]\n",
+               argv0);
+  return 2;
+}
+
+void print_recovery(const store::FlowEventStore& fs) {
+  const auto& r = fs.recovery();
+  std::printf("recovery: %llu segments (%llu rows), %llu corrupt segment file(s)\n",
+              static_cast<unsigned long long>(r.segments_loaded),
+              static_cast<unsigned long long>(r.segment_rows),
+              static_cast<unsigned long long>(r.segments_corrupt));
+  std::printf("          WAL: %llu records replayed, %llu rows (%llu already sealed)%s\n",
+              static_cast<unsigned long long>(r.wal_records_replayed),
+              static_cast<unsigned long long>(r.wal_rows_replayed),
+              static_cast<unsigned long long>(r.wal_rows_skipped),
+              r.torn_tail ? ", TORN TAIL discarded" : "");
+  std::printf("          max LSN %llu, %zu events live\n",
+              static_cast<unsigned long long>(r.max_lsn), fs.size());
+}
+
+void print_segments(const store::FlowEventStore& fs) {
+  std::printf("%zu segment(s):\n", fs.segment_count());
+  for (const auto& seg : fs.segments()) {
+    std::printf("  seg-%08u  %8zu rows  lsn [%llu, %llu]  time [%lld, %lld]\n",
+                seg->file_id(), seg->size(),
+                static_cast<unsigned long long>(seg->min_lsn()),
+                static_cast<unsigned long long>(seg->max_lsn()),
+                static_cast<long long>(seg->min_time()),
+                static_cast<long long>(seg->max_time()));
+  }
+  std::printf("%zu WAL file(s):\n", store::list_wal_files(fs.options().dir).size());
+  for (const auto& ref : store::list_wal_files(fs.options().dir)) {
+    std::printf("  %s  %llu bytes\n", ref.path.c_str(),
+                static_cast<unsigned long long>(ref.bytes));
+  }
+}
+
+int cmd_query(store::FlowEventStore& fs, const std::string& spec) {
+  std::string error;
+  const auto parsed = store::parse_query(spec, &error);
+  if (!parsed) {
+    std::fprintf(stderr, "bad query '%s': %s\n", spec.c_str(), error.c_str());
+    return 2;
+  }
+  const auto scanned_before = fs.stats().segments_scanned;
+  const auto pruned_before = fs.stats().segments_pruned;
+  std::size_t matches = 0;
+  auto cursor = fs.scan(*parsed);
+  while (const backend::StoredEvent* stored = cursor.next()) {
+    const auto& ev = stored->event;
+    if (matches < 50) {
+      std::printf("t=%-14lld sw=%-6u %-12s %s x%u\n",
+                  static_cast<long long>(ev.detected_at), ev.switch_id,
+                  core::to_string(ev.type), ev.flow.to_string().c_str(), ev.counter);
+    }
+    ++matches;
+  }
+  if (matches > 50) std::printf("... and %zu more\n", matches - 50);
+  std::printf("%zu event(s); %llu segment(s) scanned, %llu pruned\n", matches,
+              static_cast<unsigned long long>(fs.stats().segments_scanned - scanned_before),
+              static_cast<unsigned long long>(fs.stats().segments_pruned - pruned_before));
+  return 0;
+}
+
+/// Synthesize a deterministic store for fixtures and demos. With a torn
+/// byte budget, the WAL is cut off mid-record partway through ingest and
+/// the directory is left WITHOUT a clean shutdown — exactly the on-disk
+/// state an ingest crash leaves behind.
+int cmd_gen(const std::string& dir, std::uint64_t events, long long torn_after) {
+  store::StoreOptions options;
+  options.dir = dir;
+  options.shard_batch = 16;
+  // Torn mode keeps every row in the WAL (no sealing) so recovery has to
+  // replay the log itself, not just reload sealed segments.
+  options.segment_events = torn_after >= 0 ? events + 1 : 256;
+  store::FlowEventStore fs(options);
+  std::uint64_t state = 42;
+  for (std::uint64_t i = 0; i < events; ++i) {
+    if (torn_after >= 0 && i == events / 2) {
+      fs.flush();
+      fs.crash_after_wal_bytes(static_cast<std::uint64_t>(torn_after));
+    }
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const auto r = state >> 33;
+    packet::FlowKey flow{packet::Ipv4Addr::from_octets(10, 0, 0, 1 + (r % 8)),
+                         packet::Ipv4Addr::from_octets(10, 0, 1, 1 + (r % 16)), 6,
+                         static_cast<std::uint16_t>(1024 + (r % 64)), 80};
+    auto ev = core::make_event(
+        r % 3 == 0 ? core::EventType::kCongestion : core::EventType::kDrop, flow,
+        static_cast<util::NodeId>(1 + (r % 4)), static_cast<util::SimTime>(i * 1000));
+    ev.counter = static_cast<std::uint16_t>(1 + (r % 100));
+    fs.add(ev, static_cast<util::SimTime>(i * 1000 + 50));
+  }
+  if (torn_after >= 0) {
+    // Crash path: flush through the dead WAL (tears the tail), then leak
+    // nothing — the destructor skips the clean-shutdown sync on a dead
+    // WAL, so the torn record stays on disk.
+    fs.flush();
+    std::printf("generated %llu events into %s with a torn WAL tail\n",
+                static_cast<unsigned long long>(events), dir.c_str());
+  } else {
+    fs.checkpoint();
+    std::printf("generated %llu events into %s (%zu segments)\n",
+                static_cast<unsigned long long>(events), dir.c_str(), fs.segment_count());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage(argv[0]);
+  const std::string cmd = argv[1];
+  const std::string dir = argv[2];
+
+  if (cmd == "gen") {
+    const std::uint64_t events = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 2000;
+    const long long torn = argc > 4 ? std::strtoll(argv[4], nullptr, 10) : -1;
+    return cmd_gen(dir, events, torn);
+  }
+
+  store::StoreOptions options;
+  options.dir = dir;
+  store::FlowEventStore fs(options);
+
+  if (cmd == "inspect") {
+    print_recovery(fs);
+    print_segments(fs);
+    return 0;
+  }
+  if (cmd == "recover") {
+    print_recovery(fs);
+    fs.checkpoint();
+    std::printf("checkpointed: %zu segment(s), %zu events, durable LSN %llu\n",
+                fs.segment_count(), fs.size(),
+                static_cast<unsigned long long>(fs.durable_lsn()));
+    return 0;
+  }
+  if (cmd == "compact") {
+    const std::size_t merges = fs.compact();
+    fs.checkpoint();
+    std::printf("%zu merge(s); now %zu segment(s), %zu events\n", merges,
+                fs.segment_count(), fs.size());
+    return 0;
+  }
+  if (cmd == "query") {
+    if (argc < 4) return usage(argv[0]);
+    return cmd_query(fs, argv[3]);
+  }
+  return usage(argv[0]);
+}
