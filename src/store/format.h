@@ -3,8 +3,15 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <optional>
 #include <span>
+#include <string>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 #include "backend/event_store.h"
 #include "core/event.h"
@@ -28,8 +35,10 @@ namespace netseer::store {
 ///             first_lsn u64 | crc u32, then count rows.
 ///             crc is CRC-32 over the header (with the crc field zeroed)
 ///             and the payload, so a flipped bit anywhere in the record
-///             is detected. Replay stops at the first incomplete or
-///             CRC-failing record: that is the torn tail a crash leaves.
+///             is detected. Within one file, replay stops at the first
+///             incomplete or CRC-failing record — the torn tail a crash
+///             leaves — but later files (written by a recovered writer)
+///             still replay.
 ///
 /// Segment file: header "NSSG" | version u16 | reserved u16 | count u64 |
 ///               min_lsn u64 | max_lsn u64 | min_time i64 | max_time i64,
@@ -47,6 +56,10 @@ inline constexpr std::uint16_t kStoreVersion = 1;
 
 inline constexpr std::uint16_t kWalRecordMagic = 0x57a1;
 inline constexpr std::uint8_t kWalRecordBatch = 1;
+
+/// The record header's row count is a u16; larger batches are framed as
+/// several records rather than letting the count wrap.
+inline constexpr std::size_t kWalMaxRecordRows = 0xffff;
 
 inline constexpr std::size_t kWalFileHeaderBytes = 8;
 inline constexpr std::size_t kWalRecordHeaderBytes = 20;
@@ -96,6 +109,32 @@ template <typename T>
   stored.event = *event;
   stored.stored_at = get_le<std::int64_t>(row.data() + 36);
   return stored;
+}
+
+/// Flush a stdio stream all the way to stable storage (fflush + fsync),
+/// not just to the OS page cache. Durability acknowledgements (WAL
+/// sync(), segment seals) go through this.
+[[nodiscard]] inline bool sync_file(std::FILE* f) {
+  if (std::fflush(f) != 0) return false;
+#if defined(_WIN32)
+  return true;  // best effort: no fsync equivalent through stdio here
+#else
+  return ::fsync(fileno(f)) == 0;
+#endif
+}
+
+/// fsync a directory so file creations/renames inside it are themselves
+/// durable (a renamed segment is not safe until its dirent is).
+inline void sync_dir(const std::string& dir) {
+#if !defined(_WIN32)
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)dir;
+#endif
 }
 
 /// One stored event plus the log position that made it durable. The LSN

@@ -94,7 +94,9 @@ bool Segment::save(const std::string& path) const {
   std::array<std::byte, 4> footer{};
   put_le<std::uint32_t>(footer.data(), crc);
   ok = ok && std::fwrite(footer.data(), 1, footer.size(), f) == footer.size();
-  ok = ok && std::fflush(f) == 0;
+  // fsync before the rename: the rename must never make a segment
+  // visible whose bytes could still be lost to an OS crash.
+  ok = ok && sync_file(f);
   std::fclose(f);
   if (!ok) {
     std::error_code ec;
@@ -103,7 +105,9 @@ bool Segment::save(const std::string& path) const {
   }
   std::error_code ec;
   fs::rename(tmp, path, ec);
-  return !ec;
+  if (ec) return false;
+  sync_dir(fs::path(path).parent_path().string());
+  return true;
 }
 
 std::optional<Segment> Segment::load(const std::string& path, std::uint32_t file_id) {
@@ -144,8 +148,12 @@ std::optional<Segment> Segment::load(const std::string& path, std::uint32_t file
   }
   std::array<std::byte, 4> footer{};
   const bool footer_ok = std::fread(footer.data(), 1, footer.size(), f) == footer.size();
+  // The footer must also be the end of the file: trailing bytes mean a
+  // mangled count field (or appended garbage), not a smaller segment.
+  std::byte trailing{};
+  const bool at_eof = std::fread(&trailing, 1, 1, f) == 0;
   std::fclose(f);
-  if (!footer_ok || get_le<std::uint32_t>(footer.data()) != crc) return std::nullopt;
+  if (!footer_ok || !at_eof || get_le<std::uint32_t>(footer.data()) != crc) return std::nullopt;
 
   Segment seg = build(std::move(rows), file_id);
   // The header's fences are authoritative for the lsn range (rows only

@@ -59,8 +59,9 @@ class Segment {
     return true;
   }
 
-  /// Write as a CRC-protected segment file (via a .tmp + rename so a
-  /// crash mid-seal never leaves a half segment under the final name).
+  /// Write as a CRC-protected segment file (fsync'd, via a .tmp +
+  /// rename + directory fsync, so a crash mid-seal never leaves a half
+  /// segment under the final name and a sealed one cannot vanish).
   [[nodiscard]] bool save(const std::string& path) const;
 
   /// Load and fully validate a segment file (header, row encodings,

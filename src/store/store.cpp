@@ -297,6 +297,7 @@ void FlowEventStore::recover_from_dir() {
   recovery_.ran = true;
 
   std::uint32_t max_file_id = 0;
+  std::vector<std::unique_ptr<Segment>> loaded;
   for (const auto& ref : list_segment_files(options_.dir)) {
     max_file_id = std::max(max_file_id, ref.index);
     auto segment = Segment::load(ref.path, ref.index);
@@ -304,11 +305,39 @@ void FlowEventStore::recover_from_dir() {
       ++recovery_.segments_corrupt;
       continue;
     }
-    ++recovery_.segments_loaded;
-    recovery_.segment_rows += segment->size();
-    segments_.push_back(std::make_unique<Segment>(std::move(*segment)));
+    loaded.push_back(std::make_unique<Segment>(std::move(*segment)));
   }
   next_segment_file_ = max_file_id + 1;
+
+  // A crash between compact()'s rename and its input deletes leaves the
+  // merged segment AND its inputs on disk; loading both would duplicate
+  // every merged row. Keep a segment only when no other segment's LSN
+  // range fully covers it; on an identical range the newer file id (the
+  // compaction output) wins. Containment is transitive, so comparing
+  // against already-dropped entries is never needed.
+  for (auto& candidate : loaded) {
+    const bool superseded =
+        std::any_of(loaded.begin(), loaded.end(), [&](const std::unique_ptr<Segment>& other) {
+          if (!other || other.get() == candidate.get()) return false;
+          if (other->min_lsn() > candidate->min_lsn() ||
+              other->max_lsn() < candidate->max_lsn()) {
+            return false;
+          }
+          const bool strictly_larger = other->min_lsn() < candidate->min_lsn() ||
+                                       other->max_lsn() > candidate->max_lsn();
+          return strictly_larger || other->file_id() > candidate->file_id();
+        });
+    if (superseded) {
+      ++recovery_.segments_superseded;
+      std::error_code ec;
+      fs::remove(segment_path(options_.dir, candidate->file_id()), ec);
+      candidate.reset();
+      continue;
+    }
+    ++recovery_.segments_loaded;
+    recovery_.segment_rows += candidate->size();
+    segments_.push_back(std::move(candidate));
+  }
   // File ids track seal time, not row age (compaction outputs get fresh
   // ids), so order the loaded segments by their LSN fences.
   std::sort(segments_.begin(), segments_.end(),
@@ -317,12 +346,16 @@ void FlowEventStore::recover_from_dir() {
   std::uint64_t watermark = 0;
   for (const auto& segment : segments_) watermark = std::max(watermark, segment->max_lsn());
 
-  const WalReplayResult replay = replay_wal_dir(options_.dir, watermark, [this](Row&& row) {
-    memtable_.push_back(std::move(row));
-  });
+  // Repair mode: torn files are truncated to their valid prefix, so a
+  // later recovery replays past them into files this incarnation's
+  // writer is about to create.
+  const WalReplayResult replay = replay_wal_dir(
+      options_.dir, watermark, [this](Row&& row) { memtable_.push_back(std::move(row)); },
+      /*repair=*/true);
   recovery_.wal_records_replayed = replay.records;
   recovery_.wal_rows_replayed = replay.rows;
   recovery_.wal_rows_skipped = replay.skipped_rows;
+  recovery_.wal_files_repaired = replay.repaired_files;
   recovery_.torn_tail = replay.torn_tail;
   recovery_.max_lsn = std::max(watermark, replay.max_lsn);
 

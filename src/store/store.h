@@ -83,10 +83,14 @@ struct RecoveryInfo {
   bool ran = false;
   std::uint64_t segments_loaded = 0;
   std::uint64_t segments_corrupt = 0;
-  std::uint64_t segment_rows = 0;
+  /// Dropped because another segment's LSN range fully covers them —
+  /// inputs of a compaction that crashed between rename and delete.
+  std::uint64_t segments_superseded = 0;
+  std::uint64_t segment_rows = 0;  // rows in the kept segments
   std::uint64_t wal_records_replayed = 0;
   std::uint64_t wal_rows_replayed = 0;
   std::uint64_t wal_rows_skipped = 0;  // already sealed into segments
+  std::uint64_t wal_files_repaired = 0;  // torn tails truncated in place
   bool torn_tail = false;
   std::uint64_t max_lsn = 0;
 };

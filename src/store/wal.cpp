@@ -66,37 +66,54 @@ std::vector<WalFileRef> list_wal_files(const std::string& dir) {
 }
 
 WalReplayResult replay_wal_dir(const std::string& dir, std::uint64_t watermark,
-                               const std::function<void(Row&&)>& emit) {
+                               const std::function<void(Row&&)>& emit, bool repair) {
   WalReplayResult result;
   for (const auto& ref : list_wal_files(dir)) {
     result.last_file_index = ref.index;
     std::FILE* f = std::fopen(ref.path.c_str(), "rb");
     if (f == nullptr) {
       result.torn_tail = true;
-      return result;
+      continue;
     }
     ++result.files;
 
     std::array<std::byte, kWalFileHeaderBytes> file_header{};
-    if (std::fread(file_header.data(), 1, file_header.size(), f) != file_header.size() ||
+    const std::size_t header_got = std::fread(file_header.data(), 1, file_header.size(), f);
+    if (header_got == 0) {
+      // Zero bytes: a crash between rotation and flushing the buffered
+      // file header. No record was ever visible here — a clean empty log.
+      std::fclose(f);
+      continue;
+    }
+    if (header_got != file_header.size() ||
         std::memcmp(file_header.data(), kWalFileMagic, sizeof(kWalFileMagic)) != 0 ||
         get_le<std::uint16_t>(file_header.data() + 4) != kStoreVersion) {
       std::fclose(f);
       result.torn_tail = true;
-      return result;
+      if (repair) {
+        // Nothing valid inside; empty it so future opens see it clean.
+        std::error_code ec;
+        fs::resize_file(ref.path, 0, ec);
+        if (!ec) ++result.repaired_files;
+      }
+      continue;
     }
 
+    // Offset just past the last fully validated record: where repair
+    // truncates, so this tail cannot shadow later files on every reopen.
+    std::uint64_t valid_bytes = kWalFileHeaderBytes;
+    bool torn = false;
     std::array<std::byte, kWalRecordHeaderBytes> header{};
     std::vector<std::byte> payload;
+    std::vector<Row> batch;
     for (;;) {
       const std::size_t got = std::fread(header.data(), 1, header.size(), f);
       if (got == 0) break;  // clean end of file
       if (got != header.size() ||
           get_le<std::uint16_t>(header.data()) != kWalRecordMagic ||
           header[2] != static_cast<std::byte>(kWalRecordBatch)) {
-        std::fclose(f);
-        result.torn_tail = true;
-        return result;
+        torn = true;
+        break;
       }
       const std::uint16_t count = get_le<std::uint16_t>(header.data() + 4);
       const std::uint64_t first_lsn = get_le<std::uint64_t>(header.data() + 8);
@@ -104,33 +121,44 @@ WalReplayResult replay_wal_dir(const std::string& dir, std::uint64_t watermark,
       payload.resize(static_cast<std::size_t>(count) * kRowBytes);
       if (std::fread(payload.data(), 1, payload.size(), f) != payload.size() ||
           record_crc(header, payload) != stored_crc) {
-        std::fclose(f);
-        result.torn_tail = true;
-        return result;
+        torn = true;
+        break;
       }
-      ++result.records;
+      // Decode the whole record before emitting any of it: a row whose
+      // encoding is invalid despite a clean CRC (writer-side corruption)
+      // must not leave the record half replayed.
+      batch.clear();
       for (std::uint16_t i = 0; i < count; ++i) {
-        const std::uint64_t lsn = first_lsn + i;
-        if (lsn > result.max_lsn) result.max_lsn = lsn;
-        if (lsn <= watermark) {
-          ++result.skipped_rows;
-          continue;
-        }
         auto stored = decode_row(
             std::span<const std::byte>(payload.data() + std::size_t(i) * kRowBytes, kRowBytes));
         if (!stored) {
-          // The frame's CRC passed but the event encoding is invalid:
-          // writer-side corruption, not a torn tail. Stop all the same —
-          // the prefix up to here is the trustworthy part of the log.
-          std::fclose(f);
-          result.torn_tail = true;
-          return result;
+          torn = true;
+          break;
         }
-        emit(Row{*stored, lsn});
+        batch.push_back(Row{*stored, first_lsn + i});
+      }
+      if (torn) break;
+      ++result.records;
+      valid_bytes += header.size() + payload.size();
+      for (Row& row : batch) {
+        if (row.lsn > result.max_lsn) result.max_lsn = row.lsn;
+        if (row.lsn <= watermark) {
+          ++result.skipped_rows;
+          continue;
+        }
+        emit(std::move(row));
         ++result.rows;
       }
     }
     std::fclose(f);
+    if (torn) {
+      result.torn_tail = true;
+      if (repair) {
+        std::error_code ec;
+        fs::resize_file(ref.path, valid_bytes, ec);
+        if (!ec) ++result.repaired_files;
+      }
+    }
   }
   return result;
 }
@@ -190,6 +218,7 @@ bool WalWriter::open_next_file() {
   files_.push_back(info);
   ++files_opened_;
   current_bytes_ = 0;
+  current_dir_synced_ = false;
 
   std::array<std::byte, kWalFileHeaderBytes> header{};
   std::memcpy(header.data(), kWalFileMagic, sizeof(kWalFileMagic));
@@ -208,6 +237,17 @@ void WalWriter::close_current() {
 
 bool WalWriter::append(std::span<const Row> rows) {
   if (!enabled() || dead_ || rows.empty()) return false;
+  // The record header's row count is a u16: frame oversized batches as
+  // several records instead of letting the count wrap and misframe the
+  // stream for replay.
+  while (rows.size() > kWalMaxRecordRows) {
+    if (!append_record(rows.first(kWalMaxRecordRows))) return false;
+    rows = rows.subspan(kWalMaxRecordRows);
+  }
+  return append_record(rows);
+}
+
+bool WalWriter::append_record(std::span<const Row> rows) {
   if (current_bytes_ >= options_.segment_bytes) {
     if (!open_next_file()) return false;
   }
@@ -237,9 +277,15 @@ bool WalWriter::append(std::span<const Row> rows) {
 
 bool WalWriter::sync() {
   if (!enabled() || dead_ || file_ == nullptr) return false;
-  if (std::fflush(file_) != 0) {
+  if (!sync_file(file_)) {
     dead_ = true;
     return false;
+  }
+  if (!current_dir_synced_) {
+    // First sync after a rotation: make the file's dirent durable too,
+    // or an OS crash could drop the whole freshly created file.
+    sync_dir(options_.dir);
+    current_dir_synced_ = true;
   }
   ++syncs_;
   synced_bytes_ = bytes_written_;

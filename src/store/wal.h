@@ -28,21 +28,32 @@ struct WalReplayResult {
   std::uint64_t rows = 0;          // rows delivered to the callback
   std::uint64_t skipped_rows = 0;  // rows at or below the segment watermark
   std::uint64_t max_lsn = 0;       // highest LSN seen (0 when empty)
-  std::uint32_t last_file_index = 0;
-  bool torn_tail = false;  // replay stopped at an incomplete/corrupt record
+  std::uint64_t repaired_files = 0;  // torn files truncated in place (repair mode)
+  std::uint32_t last_file_index = 0;  // max file index on disk, torn or not
+  bool torn_tail = false;  // some file ended at an incomplete/corrupt record
 };
 
 /// Replay every WAL file under `dir` in file order, delivering each row
 /// with LSN > `watermark` (rows at or below it are already sealed into
-/// durable segments). Stops — cleanly, by design — at the first
-/// incomplete or CRC-failing record: everything after a torn record is
-/// unordered garbage, so recovery keeps the longest valid prefix.
+/// durable segments). Within a file, replay stops — cleanly, by design —
+/// at the first incomplete or CRC-failing record: everything after a
+/// torn record is unordered garbage, so the file contributes its longest
+/// valid prefix. Later files still replay: they were written by a writer
+/// that recovered past the tear, so their records are younger, not
+/// garbage. A zero-byte file (crash between rotation and the buffered
+/// header write) is a clean empty log.
+///
+/// With `repair` set, a torn file is truncated in place to its valid
+/// prefix (a file whose header never made it is emptied), so subsequent
+/// opens replay the same rows with no torn tail. The store's own
+/// recovery repairs; offline inspection should not.
 WalReplayResult replay_wal_dir(const std::string& dir, std::uint64_t watermark,
-                               const std::function<void(Row&&)>& emit);
+                               const std::function<void(Row&&)>& emit, bool repair = false);
 
 /// Segmented, CRC-framed append log. Each append() frames one shard
-/// batch as a single record; sync() flushes it to the OS, which is the
-/// store's acknowledgement point. Files rotate at `segment_bytes` so
+/// batch as a record (split at 65535 rows, the count field's width);
+/// sync() fsyncs it to stable storage, which is the store's
+/// acknowledgement point. Files rotate at `segment_bytes` so
 /// checkpointing can reclaim whole files once their rows are sealed
 /// into durable segments (remove_obsolete).
 ///
@@ -67,12 +78,14 @@ class WalWriter {
   [[nodiscard]] bool enabled() const { return !options_.dir.empty(); }
 
   /// Frame `rows` (which already carry consecutive LSNs) as one record
+  /// — or several, in row order, when they exceed the u16 row count —
   /// and append it. Returns false once the writer is dead (fault budget
   /// exhausted or an I/O error), in which case nothing more will reach
   /// disk — the store keeps running in memory, counting the failure.
   bool append(std::span<const Row> rows);
 
-  /// Flush buffered bytes to the OS. Rows appended before a successful
+  /// Flush buffered bytes and fsync them (file, plus its directory entry
+  /// the first time after a rotation). Rows appended before a successful
   /// sync() are the store's acknowledged (durable) set.
   bool sync();
 
@@ -105,6 +118,8 @@ class WalWriter {
 
   bool open_next_file();
   void close_current();
+  /// Frame up to kWalMaxRecordRows rows as one record (append's unit).
+  bool append_record(std::span<const Row> rows);
   /// Write through the fault gate; flips dead_ when the budget runs out.
   bool write_raw(const std::byte* data, std::size_t n);
 
@@ -112,6 +127,7 @@ class WalWriter {
   std::FILE* file_ = nullptr;
   std::uint32_t next_index_ = 1;
   std::uint64_t current_bytes_ = 0;
+  bool current_dir_synced_ = false;  // dirent of the current file fsynced?
   std::vector<FileInfo> files_;
 
   bool fail_armed_ = false;

@@ -126,6 +126,20 @@ TEST_F(SegmentTest, LoadRejectsTruncation) {
   }
 }
 
+TEST_F(SegmentTest, LoadRejectsTrailingBytes) {
+  // A mangled count field that shrank past real rows (or appended
+  // garbage) leaves bytes after the footer; load must not accept the
+  // file as a smaller segment.
+  const auto segment = Segment::build({row(1, 1, 1000), row(2, 1, 1001)});
+  const auto path = segment_path(dir_, 1);
+  ASSERT_TRUE(segment.save(path));
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << 'x';
+  }
+  EXPECT_FALSE(Segment::load(path, 1).has_value());
+}
+
 TEST_F(SegmentTest, ListSegmentFilesSortsAndFilters) {
   ASSERT_TRUE(Segment::build({row(1, 1, 1)}).save(segment_path(dir_, 12)));
   ASSERT_TRUE(Segment::build({row(2, 1, 2)}).save(segment_path(dir_, 3)));

@@ -221,6 +221,62 @@ TEST_F(StoreTest, ReopenWithoutCheckpointReplaysWal) {
   }
 }
 
+TEST_F(StoreTest, RecoveryDropsSegmentsSupersededByCompactionOutput) {
+  // Simulate a crash between compact()'s rename and its input deletes:
+  // the merged output and both of its inputs are all on disk.
+  fs::create_directories(dir_);
+  std::vector<Row> first, second, merged;
+  for (std::uint64_t lsn = 1; lsn <= 8; ++lsn) {
+    const Row r{backend::StoredEvent{event_at(lsn), static_cast<util::SimTime>(lsn * 10 + 1)},
+                lsn};
+    (lsn <= 4 ? first : second).push_back(r);
+    merged.push_back(r);
+  }
+  ASSERT_TRUE(Segment::build(first).save(segment_path(dir_, 1)));
+  ASSERT_TRUE(Segment::build(second).save(segment_path(dir_, 2)));
+  ASSERT_TRUE(Segment::build(merged).save(segment_path(dir_, 3)));
+
+  StoreOptions options;
+  options.dir = dir_;
+  FlowEventStore store(options);
+  EXPECT_EQ(store.recovery().segments_superseded, 2u);
+  EXPECT_EQ(store.recovery().segments_loaded, 1u);
+  EXPECT_EQ(store.recovery().segment_rows, 8u);
+
+  // No duplicated rows, and the stale input files are gone from disk.
+  const auto rows = store.all();
+  ASSERT_EQ(rows.size(), 8u);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(rows[i].event, merged[i].stored.event) << "row " << i;
+  }
+  const auto files = list_segment_files(dir_);
+  ASSERT_EQ(files.size(), 1u);
+  EXPECT_EQ(files[0].index, 3u);
+}
+
+TEST_F(StoreTest, RecoveryKeepsNewerOfIdenticalRangeSegments) {
+  // A compaction whose output covers exactly the same LSN range as a
+  // single surviving input (fanin collapsed by earlier eviction): the
+  // newer file id is the output and wins; exactly one copy survives.
+  fs::create_directories(dir_);
+  std::vector<Row> rows;
+  for (std::uint64_t lsn = 1; lsn <= 4; ++lsn) {
+    rows.push_back(
+        Row{backend::StoredEvent{event_at(lsn), static_cast<util::SimTime>(lsn * 10 + 1)}, lsn});
+  }
+  ASSERT_TRUE(Segment::build(rows).save(segment_path(dir_, 1)));
+  ASSERT_TRUE(Segment::build(rows).save(segment_path(dir_, 2)));
+
+  StoreOptions options;
+  options.dir = dir_;
+  FlowEventStore store(options);
+  EXPECT_EQ(store.recovery().segments_superseded, 1u);
+  EXPECT_EQ(store.size(), 4u);
+  const auto files = list_segment_files(dir_);
+  ASSERT_EQ(files.size(), 1u);
+  EXPECT_EQ(files[0].index, 2u);
+}
+
 TEST_F(StoreTest, CursorStreamsInOrderAndCountsPruning) {
   StoreOptions options;
   options.shard_batch = 16;

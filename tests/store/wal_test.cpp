@@ -135,6 +135,97 @@ TEST_F(WalTest, TornTailStopsReplayCleanly) {
   EXPECT_EQ(replayed.back().lsn, 4u);
 }
 
+TEST_F(WalTest, TornFileDoesNotHideLaterFiles) {
+  // Crash cycle 1 tears wal-1; a recovered writer then fills wal-2 with
+  // acknowledged rows. Replay must deliver wal-1's valid prefix AND all
+  // of wal-2, and last_file_index must cover wal-2 so the next writer
+  // never truncates it.
+  {
+    WalWriter writer({dir_});
+    ASSERT_TRUE(writer.append(rows(1, 4)));
+    ASSERT_TRUE(writer.append(rows(5, 4)));
+  }
+  const auto files = list_wal_files(dir_);
+  ASSERT_EQ(files.size(), 1u);
+  fs::resize_file(files[0].path, files[0].bytes - 30);  // tear the second record
+  {
+    WalWriter writer({dir_}, /*first_file_index=*/2);
+    ASSERT_TRUE(writer.append(rows(5, 6)));  // LSNs 5..10 reissued post-recovery
+    ASSERT_TRUE(writer.sync());
+  }
+
+  std::vector<Row> replayed;
+  const auto result = replay_wal_dir(dir_, 0, [&](Row&& r) { replayed.push_back(r); });
+  EXPECT_TRUE(result.torn_tail);
+  EXPECT_EQ(result.last_file_index, 2u);
+  ASSERT_EQ(replayed.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(replayed[i].lsn, i + 1);
+}
+
+TEST_F(WalTest, RepairTruncatesTornTailForCleanReplays) {
+  {
+    WalWriter writer({dir_});
+    ASSERT_TRUE(writer.append(rows(1, 4)));
+    ASSERT_TRUE(writer.append(rows(5, 4)));
+  }
+  const auto files = list_wal_files(dir_);
+  ASSERT_EQ(files.size(), 1u);
+  fs::resize_file(files[0].path, files[0].bytes - 30);
+
+  std::vector<Row> replayed;
+  auto result = replay_wal_dir(dir_, 0, [&](Row&& r) { replayed.push_back(r); },
+                               /*repair=*/true);
+  EXPECT_TRUE(result.torn_tail);
+  EXPECT_EQ(result.repaired_files, 1u);
+  ASSERT_EQ(replayed.size(), 4u);
+
+  // The torn tail is gone: replaying again is clean and sees the same
+  // valid prefix.
+  replayed.clear();
+  result = replay_wal_dir(dir_, 0, [&](Row&& r) { replayed.push_back(r); });
+  EXPECT_FALSE(result.torn_tail);
+  EXPECT_EQ(result.repaired_files, 0u);
+  ASSERT_EQ(replayed.size(), 4u);
+  EXPECT_EQ(replayed.back().lsn, 4u);
+}
+
+TEST_F(WalTest, ZeroByteFileReplaysAsCleanEmpty) {
+  {
+    WalWriter writer({dir_});
+    ASSERT_TRUE(writer.append(rows(1, 4)));
+    ASSERT_TRUE(writer.sync());
+  }
+  // A crash between rotation and the buffered header write leaves a
+  // zero-byte file: no records were ever visible, so it is not torn.
+  std::ofstream((fs::path(dir_) / "wal-00000002.log").string(), std::ios::binary);
+  std::vector<Row> replayed;
+  const auto result = replay_wal_dir(dir_, 0, [&](Row&& r) { replayed.push_back(r); });
+  EXPECT_FALSE(result.torn_tail);
+  EXPECT_EQ(result.last_file_index, 2u);
+  EXPECT_EQ(replayed.size(), 4u);
+}
+
+TEST_F(WalTest, OversizedBatchSplitsIntoMultipleRecords) {
+  // More rows than the u16 record count can hold: append must frame
+  // several records, and every row must replay.
+  constexpr std::size_t kBig = (1u << 16) + 10;
+  {
+    WalWriter writer({dir_});
+    ASSERT_TRUE(writer.append(rows(1, kBig)));
+    ASSERT_TRUE(writer.sync());
+  }
+  std::uint64_t n = 0;
+  std::uint64_t last_lsn = 0;
+  const auto result = replay_wal_dir(dir_, 0, [&](Row&& r) {
+    ++n;
+    last_lsn = r.lsn;
+  });
+  EXPECT_FALSE(result.torn_tail);
+  EXPECT_GE(result.records, 2u);
+  EXPECT_EQ(n, kBig);
+  EXPECT_EQ(last_lsn, kBig);
+}
+
 TEST_F(WalTest, CorruptPayloadByteFailsCrc) {
   {
     WalWriter writer({dir_});

@@ -46,6 +46,14 @@ void print_recovery(const store::FlowEventStore& fs) {
               static_cast<unsigned long long>(r.wal_rows_replayed),
               static_cast<unsigned long long>(r.wal_rows_skipped),
               r.torn_tail ? ", TORN TAIL discarded" : "");
+  if (r.segments_superseded > 0) {
+    std::printf("          %llu superseded segment file(s) dropped (interrupted compaction)\n",
+                static_cast<unsigned long long>(r.segments_superseded));
+  }
+  if (r.wal_files_repaired > 0) {
+    std::printf("          %llu torn WAL file(s) truncated to their valid prefix\n",
+                static_cast<unsigned long long>(r.wal_files_repaired));
+  }
   std::printf("          max LSN %llu, %zu events live\n",
               static_cast<unsigned long long>(r.max_lsn), fs.size());
 }
