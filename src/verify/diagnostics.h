@@ -53,7 +53,9 @@ class Report {
   /// {"passes":[...],"errors":N,"warnings":N,"diagnostics":[{...}]}.
   [[nodiscard]] std::string render_json() const;
 
-  /// Merge another report (pass list is concatenated, duplicates kept).
+  /// Merge another report: diagnostics are concatenated in order; the
+  /// pass list is deduplicated (merging per-switch reports that ran the
+  /// same passes must not double-count them in the summary).
   void merge(const Report& other);
 
  private:

@@ -36,6 +36,10 @@ struct Assumptions {
 
 struct VerifyOptions {
   bool strict = false;  // promote warnings to failures in ok()
+  /// Also run the symbolic pipeline executor passes (path enumeration,
+  /// drop coverage, double-report, reachability, metadata, path-sensitive
+  /// capacity — see verify/symbolic.h).
+  bool symbolic = false;
   Assumptions assumptions{};
 };
 

@@ -2,6 +2,7 @@
 
 #include "fabric/fat_tree.h"
 #include "pdp/switch.h"
+#include "verify/symbolic.h"
 
 namespace netseer::verify {
 
@@ -18,6 +19,7 @@ Report verify_switch(const pdp::Switch& sw, const core::NetSeerConfig& config,
   check_recirculation(report, config, sw.config().mtu, sw.name(), sw.id());
   check_acl(report, sw);
   check_capacity(report, sw, config, options);
+  if (options.symbolic) check_symbolic(report, sw, config, options);
   return report;
 }
 

@@ -19,8 +19,9 @@ namespace netseer::verify {
 
 /// Run all five passes over one constructed (not yet run) switch:
 /// resource fitting, stage hazards, recirculation termination, ACL
-/// shadowing, and the capacity proofs. The switch's deployed state
-/// (routes, ACL, links) is read but never mutated.
+/// shadowing, and the capacity proofs — plus the symbolic pipeline
+/// executor pass family when `options.symbolic` is set. The switch's
+/// deployed state (routes, ACL, links) is read but never mutated.
 [[nodiscard]] Report verify_switch(const pdp::Switch& sw, const core::NetSeerConfig& config,
                                    const VerifyOptions& options = {});
 

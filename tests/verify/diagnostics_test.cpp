@@ -2,6 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
 namespace netseer::verify {
 namespace {
 
@@ -69,6 +77,23 @@ TEST(ReportTest, MergeConcatenatesDiagnosticsAndDedupesPasses) {
   EXPECT_EQ(a.passes_run()[1], "capacity");
 }
 
+TEST(ReportTest, RepeatedMergeKeepsSummaryPassCountStable) {
+  // Regression: folding N per-switch reports that all ran the same passes
+  // must count each pass once in the summary, not N times.
+  Report total;
+  for (int i = 0; i < 5; ++i) {
+    Report per_switch;
+    per_switch.mark_pass("resources");
+    per_switch.mark_pass("capacity");
+    per_switch.add(make(Severity::kError, "capacity", "overflow on switch " + std::to_string(i)));
+    total.merge(per_switch);
+  }
+  EXPECT_EQ(total.passes_run().size(), 2u);
+  EXPECT_EQ(total.diagnostics().size(), 5u);
+  EXPECT_NE(total.render_text().find("5 error(s), 0 warning(s) across 2 pass(es)"),
+            std::string::npos);
+}
+
 TEST(ReportTest, RenderTextIncludesSwitchComponentAndBudget) {
   Report report;
   report.mark_pass("resources");
@@ -106,6 +131,218 @@ TEST(ReportTest, RenderJsonEmitsNullForUnknownSwitchId) {
   Report report;
   report.add(make(Severity::kError, "capacity", "fabric-wide finding"));
   EXPECT_NE(report.render_json().find("\"switch_id\": null"), std::string::npos);
+}
+
+// ---- JSON round-trip golden test --------------------------------------------
+// A minimal strict JSON reader (objects, arrays, strings with all escape
+// forms, numbers, null) — just enough to prove render_json() emits valid
+// JSON whose strings decode back to the original bytes. No external JSON
+// dependency is available, which is exactly why the escaping must be
+// proven here rather than assumed.
+
+struct JsonValue {
+  enum class Type { kNull, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  [[nodiscard]] bool parse(JsonValue& out) {
+    const bool ok = value(out);
+    skip_ws();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out.type = JsonValue::Type::kString;
+      return string(out.string);
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      out.type = JsonValue::Type::kNull;
+      return true;
+    }
+    return number(out);
+  }
+
+  bool object(JsonValue& out) {
+    if (!consume('{')) return false;
+    out.type = JsonValue::Type::kObject;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      std::string key;
+      skip_ws();
+      if (!string(key)) return false;
+      if (!consume(':')) return false;
+      JsonValue member;
+      if (!value(member)) return false;
+      out.object.emplace(std::move(key), std::move(member));
+      if (consume(',')) continue;
+      return consume('}');
+    }
+  }
+
+  bool array(JsonValue& out) {
+    if (!consume('[')) return false;
+    out.type = JsonValue::Type::kArray;
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      JsonValue element;
+      if (!value(element)) return false;
+      out.array.push_back(std::move(element));
+      if (consume(',')) continue;
+      return consume(']');
+    }
+  }
+
+  bool string(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // must be escaped
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          std::uint32_t code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<std::uint32_t>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<std::uint32_t>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<std::uint32_t>(h - 'A' + 10);
+            else return false;
+          }
+          if (code > 0x7f) return false;  // renderer only \u-escapes control bytes
+          out += static_cast<char>(code);
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool number(JsonValue& out) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '-' ||
+            text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out.type = JsonValue::Type::kNumber;
+    out.number = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+TEST(ReportJsonRoundTripTest, HostileStringsSurviveAStrictParser) {
+  // Every byte class a diagnostic can carry: quotes, backslashes, all
+  // named escapes, raw control bytes, UTF-8 multibyte, and JSON-looking
+  // payloads that must stay inert.
+  const std::string hostile_message =
+      "quote:\" backslash:\\ newline:\n tab:\t cr:\r bs:\b ff:\f bell:\x01\x1f"
+      " utf8:\xc3\xa9 json:{\"k\": [1, null]} slash:/";
+  const std::string hostile_switch = "tor\"0\\0\n";
+  const std::string hostile_component = "ring[\x02]\t\"buf\"";
+  const std::string hostile_pass = "acl\\\"pass\n";
+
+  Report report;
+  report.mark_pass(hostile_pass);
+  Diagnostic d = make(Severity::kWarning, hostile_pass, hostile_message);
+  d.switch_name = hostile_switch;
+  d.switch_id = 3;
+  d.component = hostile_component;
+  d.measured = 1.5;
+  d.limit = 2.0;
+  report.add(std::move(d));
+
+  const std::string json = report.render_json();
+  JsonValue root;
+  ASSERT_TRUE(JsonReader(json).parse(root)) << json;
+  ASSERT_EQ(root.type, JsonValue::Type::kObject);
+
+  const JsonValue& passes = root.object.at("passes");
+  ASSERT_EQ(passes.type, JsonValue::Type::kArray);
+  ASSERT_EQ(passes.array.size(), 1u);
+  EXPECT_EQ(passes.array[0].string, hostile_pass);
+
+  EXPECT_EQ(root.object.at("errors").number, 0.0);
+  EXPECT_EQ(root.object.at("warnings").number, 1.0);
+
+  const JsonValue& diags = root.object.at("diagnostics");
+  ASSERT_EQ(diags.type, JsonValue::Type::kArray);
+  ASSERT_EQ(diags.array.size(), 1u);
+  const JsonValue& entry = diags.array[0];
+  EXPECT_EQ(entry.object.at("severity").string, "warning");
+  EXPECT_EQ(entry.object.at("pass").string, hostile_pass);
+  EXPECT_EQ(entry.object.at("switch").string, hostile_switch);
+  EXPECT_EQ(entry.object.at("switch_id").number, 3.0);
+  EXPECT_EQ(entry.object.at("component").string, hostile_component);
+  EXPECT_EQ(entry.object.at("message").string, hostile_message);
+  EXPECT_EQ(entry.object.at("measured").number, 1.5);
+  EXPECT_EQ(entry.object.at("limit").number, 2.0);
+}
+
+TEST(ReportJsonRoundTripTest, NonFiniteBudgetsRenderAsNull) {
+  Report report;
+  Diagnostic d = make(Severity::kError, "capacity", "unbounded");
+  d.measured = std::numeric_limits<double>::infinity();
+  report.add(std::move(d));
+  JsonValue root;
+  ASSERT_TRUE(JsonReader(report.render_json()).parse(root));
+  EXPECT_EQ(root.object.at("diagnostics").array[0].object.at("measured").type,
+            JsonValue::Type::kNull);
 }
 
 }  // namespace

@@ -11,14 +11,16 @@
 namespace netseer::verify {
 namespace {
 
-void expect_clean(const fabric::Testbed& tb, const char* what) {
+void expect_clean(const fabric::Testbed& tb, const char* what, bool symbolic = false) {
   VerifyOptions options;
   options.strict = true;
+  options.symbolic = symbolic;
   const Report report = verify_testbed(tb, core::NetSeerConfig{}, options);
   EXPECT_TRUE(report.ok(true)) << what << ":\n" << report.render_text();
   EXPECT_TRUE(report.diagnostics().empty()) << what << ":\n" << report.render_text();
-  // All five passes ran.
-  EXPECT_EQ(report.passes_run().size(), 5u);
+  // All passes ran: the five structural ones, plus the five symbolic
+  // passes when the executor is enabled.
+  EXPECT_EQ(report.passes_run().size(), symbolic ? 10u : 5u);
 }
 
 TEST(GoldenVerifyTest, TestbedVerifiesCleanStrict) {
@@ -31,6 +33,18 @@ TEST(GoldenVerifyTest, FatTree4VerifiesCleanStrict) {
 
 TEST(GoldenVerifyTest, FatTree6VerifiesCleanStrict) {
   expect_clean(fabric::make_fat_tree(6), "fat6");
+}
+
+TEST(GoldenVerifyTest, TestbedVerifiesCleanStrictSymbolic) {
+  expect_clean(fabric::make_testbed(), "testbed --symbolic", /*symbolic=*/true);
+}
+
+TEST(GoldenVerifyTest, FatTree4VerifiesCleanStrictSymbolic) {
+  expect_clean(fabric::make_fat_tree(4), "fat4 --symbolic", /*symbolic=*/true);
+}
+
+TEST(GoldenVerifyTest, FatTree6VerifiesCleanStrictSymbolic) {
+  expect_clean(fabric::make_fat_tree(6), "fat6 --symbolic", /*symbolic=*/true);
 }
 
 TEST(GoldenVerifyTest, GoldenSummaryLineIsStable) {

@@ -3,9 +3,15 @@
 // verified, and proves the paper's deployability invariants over it:
 // resource fitting (Fig. 7), stage hazards, recirculation termination,
 // ACL shadowing, and the no-overflow capacity conditions (§4, Fig. 15).
+// With --symbolic it additionally enumerates every pipeline execution
+// path per switch and proves the behavioral coverage claims: every
+// reachable drop path crosses exactly one event-emission point (zero
+// FN), no path crosses two (zero FP), plus reachability, metadata, and
+// path-sensitive capacity checks.
 //
-//   ./build/tools/netseer_verify --topology testbed            # exit 0
+//   ./build/tools/netseer_verify --topology testbed --symbolic # exit 0
 //   ./build/tools/netseer_verify --fixture tcam-overflow       # exit 1
+//   ./build/tools/netseer_verify --fixture silent-drop         # exit 1
 //
 // Exit codes: 0 = verifies clean, 1 = diagnostics failed, 2 = usage.
 #include <cstdio>
@@ -15,6 +21,7 @@
 #include "fabric/fat_tree.h"
 #include "packet/addr.h"
 #include "pdp/switch.h"
+#include "verify/symbolic.h"
 #include "verify/verifier.h"
 
 using namespace netseer;
@@ -26,15 +33,23 @@ struct Args {
   std::string fixture;  // empty = verify the topology as shipped
   bool json = false;
   bool strict = false;
+  bool symbolic = false;
 };
 
 void usage() {
   std::puts("netseer_verify [--topology testbed|fat4|fat6|fat8] [--json] [--strict]");
-  std::puts("               [--fixture shadowed-acl|tcam-overflow|undersized-ring|stage-hazard]");
+  std::puts("               [--symbolic]");
+  std::puts("               [--fixture shadowed-acl|tcam-overflow|undersized-ring|stage-hazard");
+  std::puts("                          |silent-drop|double-emit|uninit-meta|dead-route]");
   std::puts("");
   std::puts("Statically verifies a constructed NetSeer deployment; prints one");
-  std::puts("diagnostic per violated invariant. --fixture seeds a known defect");
-  std::puts("(used by CI to prove each verifier pass actually fires).");
+  std::puts("diagnostic per violated invariant. --symbolic also enumerates all");
+  std::puts("pipeline execution paths and proves drop coverage (zero-FN), no");
+  std::puts("double-report (zero-FP), reachability, metadata initialization, and");
+  std::puts("path-sensitive capacity. --fixture seeds a known defect (used by CI");
+  std::puts("to prove each verifier pass actually fires).");
+  std::puts("");
+  std::puts("Exit codes: 0 = clean, 1 = diagnostics failed, 2 = usage error.");
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -49,6 +64,8 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.json = true;
     } else if (flag == "--strict") {
       args.strict = true;
+    } else if (flag == "--symbolic") {
+      args.symbolic = true;
     } else {
       if (flag != "--help" && flag != "-h") {
         std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
@@ -99,6 +116,48 @@ verify::PipelineLayout seed_stage_hazard(const core::NetSeerConfig& config) {
   return layout;
 }
 
+/// A route into a port that is administratively up but has no cable: the
+/// packet passes the health check, enqueues, and is never transmitted —
+/// silent loss with no drop point crossed (symbolic.coverage catches it).
+bool seed_silent_drop(pdp::Switch& sw) {
+  for (util::PortId p = 0; p < sw.config().num_ports; ++p) {
+    if (sw.link(p) == nullptr && sw.port_up(p)) {
+      sw.routes().insert(
+          packet::Ipv4Prefix{packet::Ipv4Addr::from_octets(99, 0, 0, 0), 8},
+          pdp::EcmpGroup{{p}});
+      return true;
+    }
+  }
+  return false;
+}
+
+/// A reachable deny rule, used together with a seeded extra emission
+/// point at the ACL stage: the deny path then reports the same packet
+/// twice (symbolic.duplicate catches it).
+void seed_udp_deny(pdp::Switch& sw) {
+  pdp::AclRule deny_udp;
+  deny_udp.rule_id = 30;
+  deny_udp.proto = static_cast<std::uint8_t>(packet::IpProto::kUdp);
+  deny_udp.permit = false;
+  sw.acl().add_rule(deny_udp);
+}
+
+/// A stale aggregate under more-specific routes: clone an existing host
+/// /32's sibling, then add the covering /31 — every address the /31
+/// covers is claimed by the longer entries, so it can never match
+/// (symbolic.reachability warns).
+bool seed_dead_route(pdp::Switch& sw) {
+  for (const auto& entry : sw.routes().entries()) {
+    if (entry.prefix.length != 32 || entry.corrupted) continue;
+    const pdp::EcmpGroup group = entry.nexthops;
+    const std::uint32_t addr = entry.prefix.network.value;
+    sw.routes().insert(packet::Ipv4Prefix{packet::Ipv4Addr{addr ^ 1U}, 32}, group);
+    sw.routes().insert(packet::Ipv4Prefix{packet::Ipv4Addr{addr & ~1U}, 31}, group);
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -129,6 +188,11 @@ int main(int argc, char** argv) {
   options.strict = args.strict;
 
   bool hazard_fixture = false;
+  // Symbolic-executor defects are seeded into the pipeline *model* of
+  // tors[0] only (mirroring how stage-hazard plants a layout conflict),
+  // so the expected diagnostic appears exactly once.
+  verify::SymbolicOptions symopts;
+  bool symbolic_defect = false;
   if (args.fixture == "shadowed-acl") {
     seed_shadowed_acl(*tb.tors[0]);
   } else if (args.fixture == "tcam-overflow") {
@@ -137,10 +201,34 @@ int main(int argc, char** argv) {
     config.interswitch.ring_slots = 64;
   } else if (args.fixture == "stage-hazard") {
     hazard_fixture = true;
+  } else if (args.fixture == "silent-drop") {
+    if (!seed_silent_drop(*tb.aggs[0])) {
+      std::fprintf(stderr, "silent-drop: no up-but-unwired port on %s\n",
+                   tb.aggs[0]->name().c_str());
+      return 2;
+    }
+    args.symbolic = true;
+  } else if (args.fixture == "double-emit") {
+    seed_udp_deny(*tb.tors[0]);
+    symopts.defects.extra_emissions.push_back(
+        {pdp::Stage::kAcl, pdp::DropReason::kAclDeny, "rogue.acl_mirror"});
+    symbolic_defect = true;
+  } else if (args.fixture == "uninit-meta") {
+    symopts.defects.extra_reads.push_back(
+        {pdp::Stage::kMmuAdmit, pdp::MetaField::kAclRuleId, "rogue acl aggregator"});
+    symbolic_defect = true;
+  } else if (args.fixture == "dead-route") {
+    if (!seed_dead_route(*tb.tors[0])) {
+      std::fprintf(stderr, "dead-route: no host /32 to shadow on %s\n",
+                   tb.tors[0]->name().c_str());
+      return 2;
+    }
+    args.symbolic = true;
   } else if (!args.fixture.empty()) {
     std::fprintf(stderr, "unknown fixture '%s'\n", args.fixture.c_str());
     return 2;
   }
+  options.symbolic = args.symbolic;
 
   verify::Report report;
   if (hazard_fixture) {
@@ -150,6 +238,9 @@ int main(int argc, char** argv) {
     }
   } else {
     report = verify::verify_testbed(tb, config, options);
+  }
+  if (symbolic_defect) {
+    verify::check_symbolic(report, *tb.tors[0], config, options, symopts);
   }
 
   if (args.json) {
