@@ -1,0 +1,79 @@
+#include "fabric/partition.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace netseer::fabric {
+
+namespace {
+
+/// Fill in lookahead and the cross/intra link counts from the network's
+/// links, given a complete switch assignment.
+void finish_plan(const Network& net, PartitionPlan& plan) {
+  std::unordered_set<util::NodeId> switch_ids;
+  switch_ids.reserve(net.switches().size());
+  for (const auto& sw : net.switches()) switch_ids.insert(sw->id());
+
+  util::SimDuration min_delay = 0;
+  for (const auto& link : net.links()) {
+    const util::NodeId from = link->from_node();
+    const util::NodeId to = link->peer().id();
+    if (!switch_ids.contains(from) || !switch_ids.contains(to)) continue;
+    if (min_delay == 0 || link->delay() < min_delay) min_delay = link->delay();
+    if (plan.assignment.at(from) == plan.assignment.at(to)) {
+      ++plan.intra_shard_links;
+    } else {
+      ++plan.cross_shard_links;
+    }
+  }
+  plan.lookahead = min_delay > 0 ? min_delay : 1;
+
+  plan.shard_sizes.assign(plan.shards, 0);
+  for (const auto& [node, shard] : plan.assignment) {
+    (void)node;
+    ++plan.shard_sizes[shard];
+  }
+}
+
+}  // namespace
+
+PartitionPlan partition_switches(const Network& net, std::uint32_t shards) {
+  PartitionPlan plan;
+  plan.shards = std::max<std::uint32_t>(1, shards);
+  std::uint32_t next = 0;
+  for (const auto& sw : net.switches()) {
+    plan.assignment.emplace(sw->id(), next);
+    next = (next + 1) % plan.shards;
+  }
+  finish_plan(net, plan);
+  return plan;
+}
+
+PartitionPlan partition_testbed(const Testbed& bed, const TestbedConfig& config,
+                                std::uint32_t shards) {
+  PartitionPlan plan;
+  plan.shards = std::max<std::uint32_t>(1, shards);
+
+  // Pods whole, striped round-robin: every agg<->tor link stays internal.
+  const auto pod_shard = [&](int pod) {
+    return static_cast<std::uint32_t>(pod) % plan.shards;
+  };
+  for (int pod = 0; pod < config.num_pods; ++pod) {
+    for (int a = 0; a < config.aggs_per_pod; ++a) {
+      plan.assignment.emplace(bed.aggs[pod * config.aggs_per_pod + a]->id(), pod_shard(pod));
+    }
+    for (int t = 0; t < config.tors_per_pod; ++t) {
+      plan.assignment.emplace(bed.tors[pod * config.tors_per_pod + t]->id(), pod_shard(pod));
+    }
+  }
+  // Cores talk to every pod, so any placement cuts links; spread them for
+  // balance.
+  for (std::size_t c = 0; c < bed.cores.size(); ++c) {
+    plan.assignment.emplace(bed.cores[c]->id(), static_cast<std::uint32_t>(c % plan.shards));
+  }
+
+  finish_plan(*bed.net, plan);
+  return plan;
+}
+
+}  // namespace netseer::fabric

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "fabric/fat_tree.h"
+#include "fabric/network.h"
+#include "util/time.h"
+
+namespace netseer::fabric {
+
+/// Output of the topology partitioner: which shard owns each switch, and
+/// the conservative lookahead the parallel engine may use with that
+/// assignment.
+struct PartitionPlan {
+  std::uint32_t shards = 1;
+
+  /// min propagation delay over ALL switch-switch links — deliberately
+  /// not just the cut links, so the value (and therefore every window
+  /// boundary of the parallel run) is identical for every shard count.
+  /// That invariance is what lets the golden tests compare 1/2/4/8-shard
+  /// runs bit-for-bit.
+  util::SimDuration lookahead = 1;
+
+  /// NodeId -> shard for every switch in the network.
+  std::unordered_map<util::NodeId, std::uint32_t> assignment;
+
+  /// Switch-switch links whose endpoints landed on different / the same
+  /// shard (host links are shard-internal by construction and excluded).
+  std::size_t cross_shard_links = 0;
+  std::size_t intra_shard_links = 0;
+
+  /// Switches per shard, indexed by shard.
+  std::vector<std::size_t> shard_sizes;
+
+  [[nodiscard]] std::uint32_t shard_of(util::NodeId node) const {
+    return assignment.at(node);
+  }
+};
+
+/// Partition a network's switches round-robin into `shards` shards (in
+/// switch construction order, so the assignment is deterministic for a
+/// given topology). Works on any Network; lookahead falls back to 1 ns if
+/// the network has no switch-switch links.
+[[nodiscard]] PartitionPlan partition_switches(const Network& net, std::uint32_t shards);
+
+/// Topology-aware variant for the testbed/fat-tree builders: keeps each
+/// pod's aggregation and ToR switches on one shard (pods are striped
+/// round-robin across shards) and distributes the cores evenly, which
+/// turns most traffic shard-internal — only pod<->core hops cross.
+[[nodiscard]] PartitionPlan partition_testbed(const Testbed& bed, const TestbedConfig& config,
+                                              std::uint32_t shards);
+
+}  // namespace netseer::fabric

@@ -8,6 +8,7 @@ Pool& Pool::local() {
 }
 
 PooledPacket Pool::acquire(Packet&& pkt) {
+  if (remote_pending_.load(std::memory_order_acquire)) drain_remote();
   ++acquires_;
   Packet* slot;
   if (!free_.empty()) {
@@ -30,7 +31,27 @@ void Pool::release(Packet* pkt) {
   // extends a payload's lifetime; header fields are plain values and get
   // overwritten wholesale by the next acquire.
   pkt->control.reset();
+  if (std::this_thread::get_id() != owner_) {
+    release_remote(pkt);
+    return;
+  }
   free_.push_back(pkt);
+}
+
+void Pool::release_remote(Packet* pkt) {
+  remote_returns_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(remote_mu_);
+    remote_.push_back(pkt);
+  }
+  remote_pending_.store(true, std::memory_order_release);
+}
+
+void Pool::drain_remote() {
+  std::lock_guard<std::mutex> lock(remote_mu_);
+  free_.insert(free_.end(), remote_.begin(), remote_.end());
+  remote_.clear();
+  remote_pending_.store(false, std::memory_order_relaxed);
 }
 
 }  // namespace netseer::packet

@@ -1,10 +1,14 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "packet/packet.h"
+#include "util/thread_annotations.h"
 
 namespace netseer::packet {
 
@@ -61,22 +65,34 @@ class PooledPacket {
 /// steady-state hot path (a frame hopping link -> switch -> link) reuses
 /// the same few cache-warm slots and never touches the allocator.
 ///
-/// Single-threaded, like the simulator it feeds. hit-rate telemetry:
-/// reuses()/acquires() is exported as the pool.hit_rate gauge (basis
-/// points) — a low value means the in-flight population keeps growing,
-/// i.e. the pool is being used somewhere packets are parked long-term.
+/// Owner-threaded, like the simulator shard it feeds: acquire() and the
+/// free-list fast path belong to one thread (the constructor's, or the
+/// one that last called bind_owner()). A handle released from ANOTHER
+/// thread — a packet that crossed a shard boundary and died there — takes
+/// the slow path: the slot goes onto a mutex-guarded remote-return list
+/// that the owner folds back into its free list on the next acquire.
+/// hit-rate telemetry: reuses()/acquires() is exported as the
+/// pool.hit_rate gauge (basis points) — a low value means the in-flight
+/// population keeps growing, i.e. the pool is being used somewhere
+/// packets are parked long-term.
 class Pool {
  public:
   static constexpr std::size_t kChunkPackets = 64;
 
-  Pool() = default;
+  Pool() : owner_(std::this_thread::get_id()) {}
   Pool(const Pool&) = delete;
   Pool& operator=(const Pool&) = delete;
 
   /// Process-wide pool shared by every link/port/pipeline hop.
   [[nodiscard]] static Pool& local();
 
+  /// Adopt the calling thread as the owner of the fast path. A shard
+  /// worker calls this on its per-shard pool before the run; only the
+  /// owner may call acquire().
+  void bind_owner() { owner_ = std::this_thread::get_id(); }
+
   /// Park `pkt` in a recycled slot and get the small handle for it.
+  /// Owner thread only.
   [[nodiscard]] PooledPacket acquire(Packet&& pkt);
 
   [[nodiscard]] std::uint64_t acquires() const { return acquires_; }
@@ -85,16 +101,28 @@ class Pool {
   /// Distinct slots ever materialized (high-water in-flight population).
   [[nodiscard]] std::size_t slots() const { return slot_count_; }
   [[nodiscard]] std::size_t free_slots() const { return free_.size(); }
+  /// Slots released from non-owner threads over the pool's lifetime.
+  [[nodiscard]] std::uint64_t remote_returns() const {
+    return remote_returns_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class PooledPacket;
   void release(Packet* pkt);
+  void release_remote(Packet* pkt);
+  void drain_remote();
 
   std::vector<std::unique_ptr<Packet[]>> chunks_;
   std::vector<Packet*> free_;
   std::size_t slot_count_ = 0;
   std::uint64_t acquires_ = 0;
   std::uint64_t reuses_ = 0;
+
+  std::thread::id owner_;
+  std::atomic<bool> remote_pending_{false};  // checked lock-free on acquire
+  std::atomic<std::uint64_t> remote_returns_{0};
+  std::mutex remote_mu_;
+  std::vector<Packet*> remote_ NETSEER_GUARDED_BY(remote_mu_);
 };
 
 inline void PooledPacket::reset() {

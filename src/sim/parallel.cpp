@@ -1,0 +1,396 @@
+#include "sim/parallel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+#include "sim/spsc.h"
+
+namespace netseer::sim {
+
+namespace {
+
+/// A cross-actor message in flight: the canonical ordering key plus the
+/// payload Task. (when, from, seq) is a total order — seq is per-source
+/// and strictly increasing — so sorting due arrivals at injection time
+/// is independent of mailbox drain interleaving.
+struct Message {
+  SimTime when = 0;
+  ActorId from = kInvalidActor;
+  ActorId to = kInvalidActor;
+  std::uint64_t seq = 0;
+  Task fn;
+};
+
+/// Min-heap-by-when comparator for the pending buffer (ties arbitrary —
+/// the due batch is canonically re-sorted before injection).
+struct LaterWhen {
+  bool operator()(const Message& a, const Message& b) const { return a.when > b.when; }
+};
+
+bool canonical_before(const Message& a, const Message& b) {
+  if (a.when != b.when) return a.when < b.when;
+  if (a.from != b.from) return a.from < b.from;
+  return a.seq < b.seq;
+}
+
+}  // namespace
+
+/// One shard: a Simulator, the shard-local task slab the actor callbacks
+/// live in, the arrival buffers, and one SPSC inbox per peer shard.
+/// Everything here is single-writer — only the shard's thread touches it
+/// during a run — except the inbox rings (their producers are the peer
+/// shards) and the slab cells reachable through fire().
+struct ParallelSimulator::Shard {
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  static constexpr std::uint32_t kChunkShift = 8;  // 256 slots per chunk
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+
+  /// Slab cell: the actor callback plus cancellation state. `gen`
+  /// increments on release, so a ShardTaskHandle to a recycled slot
+  /// degrades to an inactive no-op (same scheme as Simulator's slab).
+  struct Slot {
+    Task fn;
+    ActorId actor = kInvalidActor;
+    std::uint64_t gen = 0;
+    std::uint32_t next_free = kNoSlot;
+    bool cancelled = false;
+    bool in_use = false;
+  };
+
+  Shard(std::uint32_t id_in, std::uint32_t nshards, std::size_t mailbox_capacity) : id(id_in) {
+    inbox.reserve(nshards);
+    for (std::uint32_t s = 0; s < nshards; ++s) {
+      inbox.push_back(s == id ? nullptr
+                              : std::make_unique<SpscRing<Message>>(mailbox_capacity));
+    }
+  }
+
+  [[nodiscard]] Slot& slot_ref(std::uint32_t index) {
+    return chunks[index >> kChunkShift][index & (kChunkSize - 1)];
+  }
+
+  std::uint32_t acquire_slot() {
+    std::uint32_t index;
+    if (free_slot != kNoSlot) {
+      index = free_slot;
+      free_slot = slot_ref(index).next_free;
+    } else {
+      index = slot_count++;
+      if ((index >> kChunkShift) == chunks.size()) {
+        chunks.push_back(std::make_unique<Slot[]>(kChunkSize));
+      }
+    }
+    Slot& cell = slot_ref(index);
+    cell.in_use = true;
+    cell.cancelled = false;
+    return index;
+  }
+
+  void release_slot(std::uint32_t index) {
+    Slot& cell = slot_ref(index);
+    cell.fn.reset();  // drop captures eagerly (cancelled tasks may pin buffers)
+    ++cell.gen;
+    cell.in_use = false;
+    cell.cancelled = false;
+    cell.next_free = free_slot;
+    free_slot = index;
+  }
+
+  /// The Simulator-side wrapper target: run the slab cell's callback as
+  /// its actor, then recycle the cell. Cancelled cells still consume
+  /// their virtual-time slot (exactly like Simulator's own cancellation).
+  void fire(std::uint32_t index) {
+    Slot& cell = slot_ref(index);
+    if (!cell.cancelled) {
+      current_actor = cell.actor;
+      cell.fn();
+      current_actor = kInvalidActor;
+    }
+    release_slot(index);
+  }
+
+  /// Move everything the peers have published into the pending heap.
+  /// Called at window starts, while waiting at a barrier, and while
+  /// stalled on a full outbound ring — the latter two keep producer
+  /// cycles deadlock-free and are order-safe because injection re-sorts.
+  void drain_inboxes() {
+    Message msg;
+    for (auto& ring : inbox) {
+      if (ring == nullptr) continue;
+      while (ring->try_pop(msg)) {
+        pending.push_back(std::move(msg));
+        std::push_heap(pending.begin(), pending.end(), LaterWhen{});
+      }
+    }
+  }
+
+  /// Fold same-shard sends into pending (phase A of every round).
+  void fold_local_outbox() {
+    for (Message& msg : outbox_local) {
+      pending.push_back(std::move(msg));
+      std::push_heap(pending.begin(), pending.end(), LaterWhen{});
+    }
+    outbox_local.clear();
+  }
+
+  /// Extract arrivals due before `window_end`, sort them canonically,
+  /// and schedule them — the step that makes same-instant cross-actor
+  /// ordering independent of shard count and drain timing.
+  void inject_due(SimTime window_end) {
+    due.clear();
+    while (!pending.empty() && pending.front().when < window_end) {
+      std::pop_heap(pending.begin(), pending.end(), LaterWhen{});
+      due.push_back(std::move(pending.back()));
+      pending.pop_back();
+    }
+    std::sort(due.begin(), due.end(), canonical_before);
+    for (Message& msg : due) {
+      const std::uint32_t index = acquire_slot();
+      Slot& cell = slot_ref(index);
+      cell.fn = std::move(msg.fn);
+      cell.actor = msg.to;
+      Shard* self = this;
+      sim.schedule_at(msg.when, [self, index] { self->fire(index); });
+    }
+    due.clear();
+  }
+
+  const std::uint32_t id;
+  Simulator sim;
+
+  std::vector<std::unique_ptr<Slot[]>> chunks;
+  std::uint32_t slot_count = 0;
+  std::uint32_t free_slot = kNoSlot;
+
+  std::vector<Message> pending;       // min-heap by when (arrivals not yet due)
+  std::vector<Message> outbox_local;  // same-shard sends awaiting the next fold
+  std::vector<Message> due;           // injection scratch
+  std::vector<std::unique_ptr<SpscRing<Message>>> inbox;  // indexed by source shard
+
+  ActorId current_actor = kInvalidActor;
+  std::uint64_t mailbox_stalls = 0;
+  std::uint64_t sends_cross = 0;
+  std::uint64_t sends_local = 0;
+  std::uint64_t sends_clamped = 0;
+};
+
+thread_local ParallelSimulator::Shard* ParallelSimulator::tls_shard_ = nullptr;
+
+ParallelSimulator::ParallelSimulator(const ParallelConfig& config)
+    : nshards_(config.shards < 1 ? 1 : config.shards),
+      lookahead_(config.lookahead < 1 ? 1 : config.lookahead),
+      use_threads_(config.use_threads),
+      mailbox_capacity_(config.mailbox_capacity < 2 ? 2 : config.mailbox_capacity) {
+  shards_.reserve(nshards_);
+  for (std::uint32_t s = 0; s < nshards_; ++s) {
+    shards_.push_back(std::make_unique<Shard>(s, nshards_, mailbox_capacity_));
+  }
+  shard_min_ = std::make_unique<std::atomic<SimTime>[]>(nshards_);
+}
+
+ParallelSimulator::~ParallelSimulator() = default;
+
+ActorId ParallelSimulator::add_actor(std::uint32_t shard) {
+  assert(!running_);
+  assert(shard < nshards_);
+  actors_.push_back(ActorInfo{shard, 0});
+  return static_cast<ActorId>(actors_.size() - 1);
+}
+
+SimTime ParallelSimulator::now_on(ActorId actor) const {
+  return shards_[actors_[actor].shard]->sim.now();
+}
+
+std::uint64_t ParallelSimulator::events_processed() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->sim.events_processed();
+  return total;
+}
+
+ShardStats ParallelSimulator::shard_stats(std::uint32_t shard) const {
+  const Shard& s = *shards_[shard];
+  return ShardStats{s.sim.events_processed(), s.mailbox_stalls,  s.sends_cross,
+                    s.sends_local,            s.sends_clamped,   s.sim.task_heap_allocs()};
+}
+
+ShardTaskHandle ParallelSimulator::schedule_task(ActorId actor, SimTime when, Task fn) {
+  Shard& s = *shards_[actors_[actor].shard];
+  assert(!running_ || tls_shard_ == &s);
+  const std::uint32_t index = s.acquire_slot();
+  Shard::Slot& cell = s.slot_ref(index);
+  cell.fn = std::move(fn);
+  cell.actor = actor;
+  const std::uint64_t gen = cell.gen;
+  Shard* self = &s;
+  s.sim.schedule_at(when, [self, index] { self->fire(index); });
+  return ShardTaskHandle(this, s.id, index, gen);
+}
+
+void ParallelSimulator::send_task(ActorId from, ActorId to, SimTime when, Task fn) {
+  ActorInfo& src = actors_[from];
+  Shard& s = *shards_[src.shard];
+  assert(!running_ || tls_shard_ == &s);
+  // Conservative floor: a message below now + lookahead would be able to
+  // land inside the window that produced it, on a shard that already
+  // executed past its timestamp. Bump it (deterministically) and count.
+  const SimTime floor = s.sim.now() + lookahead_;
+  if (when < floor) {
+    when = floor;
+    ++s.sends_clamped;
+  }
+  Message msg{when, from, to, src.send_seq++, std::move(fn)};
+  Shard& dst = *shards_[actors_[to].shard];
+  if (&dst == &s) {
+    ++s.sends_local;
+    s.outbox_local.push_back(std::move(msg));
+    return;
+  }
+  ++s.sends_cross;
+  SpscRing<Message>& ring = *dst.inbox[s.id];
+  while (!ring.try_push(msg)) {
+    // Backpressure: the consumer drains at every window start and while
+    // it waits at a barrier, so this resolves once it catches up. Drain
+    // our own inboxes meanwhile — two shards stalled on each other's
+    // full rings would otherwise deadlock.
+    ++s.mailbox_stalls;
+    if (running_ && use_threads_) {
+      s.drain_inboxes();
+      std::this_thread::yield();
+    } else {
+      // Single-threaded (setup or inline run): we own the consumer too.
+      dst.drain_inboxes();
+    }
+  }
+}
+
+void ParallelSimulator::reduce_window(SimTime limit) {
+  SimTime global_min = Simulator::kNoPending;
+  for (std::uint32_t s = 0; s < nshards_; ++s) {
+    global_min = std::min(global_min, shard_min_[s].load(std::memory_order_relaxed));
+  }
+  if (global_min > limit) {
+    done_.store(true, std::memory_order_relaxed);
+    return;
+  }
+  // min(global_min + lookahead, limit + 1), written overflow-safe.
+  const SimTime end =
+      (limit - global_min >= lookahead_) ? global_min + lookahead_ : limit + 1;
+  window_end_.store(end, std::memory_order_relaxed);
+  ++windows_;  // single writer per round; ordered across rounds by round_
+}
+
+void ParallelSimulator::barrier(Shard& me, bool reduce, SimTime limit) {
+  const std::uint64_t round = round_.load(std::memory_order_acquire);
+  if (arrived_.fetch_add(1, std::memory_order_acq_rel) == nshards_ - 1) {
+    // Last arriver: the acq_rel RMW chain on arrived_ makes every peer's
+    // published shard_min_ visible here.
+    arrived_.store(0, std::memory_order_relaxed);
+    if (reduce) reduce_window(limit);
+    round_.fetch_add(1, std::memory_order_acq_rel);
+  } else {
+    int spins = 0;
+    while (round_.load(std::memory_order_acquire) == round) {
+      // Keep consuming while parked so producers stalled on our full
+      // rings make progress (see send_task).
+      me.drain_inboxes();
+      if (++spins > 64) std::this_thread::yield();
+    }
+  }
+}
+
+void ParallelSimulator::worker(std::uint32_t shard, SimTime limit) {
+  Shard& s = *shards_[shard];
+  tls_shard_ = &s;
+  for (;;) {
+    // Phase A: publish this shard's earliest pending timestamp; the
+    // barrier reduction turns the global minimum G into the conservative
+    // window [G, G + lookahead).
+    s.drain_inboxes();
+    s.fold_local_outbox();
+    SimTime local_min = s.sim.next_event_time();
+    if (!s.pending.empty() && s.pending.front().when < local_min) {
+      local_min = s.pending.front().when;
+    }
+    shard_min_[shard].store(local_min, std::memory_order_relaxed);
+    barrier(s, /*reduce=*/true, limit);
+    if (done_.load(std::memory_order_relaxed)) break;
+    // Phase B: inject due arrivals in canonical order, execute the
+    // window, then close it — no shard may start the next reduction
+    // while a peer is still producing messages for it.
+    const SimTime end = window_end_.load(std::memory_order_relaxed);
+    s.inject_due(end);
+    s.sim.run_until(end - 1);
+    barrier(s, /*reduce=*/false, limit);
+  }
+  // Nothing at or before limit remains anywhere; advance the clock.
+  s.sim.run_until(limit);
+  tls_shard_ = nullptr;
+}
+
+void ParallelSimulator::run_inline(SimTime limit) {
+  for (;;) {
+    SimTime global_min = Simulator::kNoPending;
+    for (auto& shard : shards_) {
+      Shard& s = *shard;
+      tls_shard_ = &s;
+      s.drain_inboxes();
+      s.fold_local_outbox();
+      SimTime local_min = s.sim.next_event_time();
+      if (!s.pending.empty() && s.pending.front().when < local_min) {
+        local_min = s.pending.front().when;
+      }
+      global_min = std::min(global_min, local_min);
+    }
+    if (global_min > limit) break;
+    const SimTime end =
+        (limit - global_min >= lookahead_) ? global_min + lookahead_ : limit + 1;
+    ++windows_;
+    for (auto& shard : shards_) {
+      Shard& s = *shard;
+      tls_shard_ = &s;
+      s.inject_due(end);
+      s.sim.run_until(end - 1);
+    }
+  }
+  for (auto& shard : shards_) {
+    tls_shard_ = shard.get();
+    shard->sim.run_until(limit);
+  }
+  tls_shard_ = nullptr;
+}
+
+void ParallelSimulator::run_until(SimTime limit) {
+  running_ = true;
+  done_.store(false, std::memory_order_relaxed);
+  if (!use_threads_) {
+    run_inline(limit);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(nshards_);
+    for (std::uint32_t s = 0; s < nshards_; ++s) {
+      threads.emplace_back([this, s, limit] { worker(s, limit); });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  now_ = limit;
+  running_ = false;
+}
+
+void ShardTaskHandle::cancel() {
+  if (engine_ == nullptr) return;
+  ParallelSimulator::Shard& s = *engine_->shards_[shard_];
+  assert(!engine_->running_ || ParallelSimulator::tls_shard_ == &s);
+  ParallelSimulator::Shard::Slot& cell = s.slot_ref(slot_);
+  if (cell.in_use && cell.gen == gen_) cell.cancelled = true;
+}
+
+bool ShardTaskHandle::active() const {
+  if (engine_ == nullptr) return false;
+  ParallelSimulator::Shard& s = *engine_->shards_[shard_];
+  assert(!engine_->running_ || ParallelSimulator::tls_shard_ == &s);
+  ParallelSimulator::Shard::Slot& cell = s.slot_ref(slot_);
+  return cell.in_use && cell.gen == gen_ && !cell.cancelled;
+}
+
+}  // namespace netseer::sim

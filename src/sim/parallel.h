@@ -1,0 +1,206 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "util/time.h"
+
+namespace netseer::sim {
+
+/// Identifies one logical process of the parallel engine — a switch in
+/// the fabric benches, an abstract actor in the tests. Every event
+/// executes on behalf of exactly one actor, on the shard that owns it.
+using ActorId = std::uint32_t;
+inline constexpr ActorId kInvalidActor = 0xffffffffu;
+
+struct ParallelConfig {
+  /// Number of shards. Each shard owns a sim::Simulator, a task slab,
+  /// and the event state of every actor assigned to it.
+  std::uint32_t shards = 1;
+  /// Conservative lookahead: the minimum cross-actor delivery latency,
+  /// in practice the minimum link propagation delay of the partitioned
+  /// topology (fabric::PartitionPlan::lookahead). Must be >= 1 ns. For
+  /// the cross-shard-count determinism guarantee it must be the SAME
+  /// value for every shard count compared (the partitioner derives it
+  /// from all switch-switch links, not just the cut ones, for exactly
+  /// this reason).
+  SimDuration lookahead = 1;
+  /// false runs the identical window algorithm on the calling thread,
+  /// round-robining shards — the serial reference the determinism tests
+  /// compare threaded runs against.
+  bool use_threads = true;
+  /// Messages buffered per directed shard pair before the producer hits
+  /// backpressure (rounded up to a power of two). While stalled, the
+  /// producer drains its own inboxes, so mailbox cycles cannot deadlock.
+  std::size_t mailbox_capacity = 512;
+};
+
+class ParallelSimulator;
+
+/// Cancellation token for an event scheduled on a shard. Generation
+/// counted like sim::TaskHandle: once the event has fired (or been
+/// cancelled) the slot recycles and the handle degrades to an inactive
+/// no-op. Shard-affine: cancel()/active() may only be called from the
+/// owning shard's execution context (or while the engine is not
+/// running) — handles must not be shared across shards mid-run.
+class ShardTaskHandle {
+ public:
+  ShardTaskHandle() = default;
+
+  void cancel();
+  [[nodiscard]] bool active() const;
+
+ private:
+  friend class ParallelSimulator;
+  ShardTaskHandle(ParallelSimulator* engine, std::uint32_t shard, std::uint32_t slot,
+                  std::uint64_t gen)
+      : engine_(engine), shard_(shard), slot_(slot), gen_(gen) {}
+
+  ParallelSimulator* engine_ = nullptr;
+  std::uint32_t shard_ = 0;
+  std::uint32_t slot_ = 0;
+  std::uint64_t gen_ = 0;
+};
+
+/// Per-shard counters, quiescent snapshot after run_until returns.
+struct ShardStats {
+  std::uint64_t events = 0;          // events fired by the shard's Simulator
+  std::uint64_t mailbox_stalls = 0;  // full-ring waits while sending cross-shard
+  std::uint64_t sends_cross = 0;     // messages through SPSC mailboxes
+  std::uint64_t sends_local = 0;     // same-shard sends (local outbox path)
+  std::uint64_t sends_clamped = 0;   // sends below the lookahead floor, bumped up
+  std::uint64_t task_heap_allocs = 0;
+};
+
+/// Conservative parallel discrete-event engine: the simulation is
+/// partitioned into shards (by switch, via fabric::partition_*), each
+/// owning its actors' event queues (a sim::Simulator calendar queue +
+/// overflow heap), task slab, and handles. Cross-actor communication
+/// goes through send(), which enforces the lookahead floor and carries
+/// the message over an SPSC mailbox when the destination lives on
+/// another shard.
+///
+/// Synchronization is the classic Chandy–Misra–Bryant bound made
+/// barrier-synchronous: every round, each shard publishes the timestamp
+/// of its earliest pending work (queued events and undelivered
+/// arrivals); a barrier reduction takes the global minimum G and opens
+/// the window [G, G + lookahead). Every shard may execute that window
+/// without speculation — any message generated inside it arrives at
+/// G + lookahead or later, because sends are floored at now + lookahead.
+/// A second barrier closes the window so no shard starts the next
+/// reduction while a neighbour is still producing messages for it.
+///
+/// Determinism: per-actor event ordering is bit-identical for ANY shard
+/// count (1/2/4/8/...), including the single-threaded reference
+/// (use_threads = false), provided the workload obeys two rules — an
+/// event may only schedule() onto its own actor and send() to others,
+/// and actors touch no shared mutable state outside message payloads.
+/// The proof shape: arrivals due in a window are injected at its start
+/// in the canonical (when, src actor, per-src seq) order, so same-instant
+/// arrivals never depend on mailbox drain timing; self-scheduled events
+/// inherit the actor's own deterministic execution order; and the window
+/// boundaries themselves depend only on event timestamps and the (fixed)
+/// lookahead, not on the partition. tests/sim/parallel_golden_test.cpp
+/// checks the resulting per-actor signatures across shard counts, and
+/// the parallel-determinism CI job re-runs them under TSan and ASan.
+class ParallelSimulator {
+ public:
+  explicit ParallelSimulator(const ParallelConfig& config);
+  ParallelSimulator(const ParallelSimulator&) = delete;
+  ParallelSimulator& operator=(const ParallelSimulator&) = delete;
+  ~ParallelSimulator();
+
+  /// Register an actor on `shard` (< shards()). Setup only — actors are
+  /// fixed once run_until has been called.
+  ActorId add_actor(std::uint32_t shard);
+
+  [[nodiscard]] std::uint32_t shards() const { return nshards_; }
+  [[nodiscard]] std::uint32_t shard_of(ActorId actor) const { return actors_[actor].shard; }
+  [[nodiscard]] SimDuration lookahead() const { return lookahead_; }
+
+  /// Schedule `fn` on `actor` at absolute time `when`. During a run this
+  /// is the SELF-scheduling path: only the currently-executing actor's
+  /// shard may call it, targeting an actor it owns. Use send() for any
+  /// cross-actor work.
+  template <typename F>
+  ShardTaskHandle schedule(ActorId actor, SimTime when, F&& fn) {
+    return schedule_task(actor, when, Task(std::forward<F>(fn)));
+  }
+
+  /// Deliver `fn` to `to` at `when`, stamped with `from`'s next send
+  /// sequence number (the canonical tie-break). `when` below the
+  /// conservative floor now(from) + lookahead is bumped to the floor and
+  /// counted in ShardStats::sends_clamped — a correct workload (message
+  /// latency modeled on real link delays >= lookahead) never trips it.
+  /// During a run, `from` must be the actor currently executing.
+  template <typename F>
+  void send(ActorId from, ActorId to, SimTime when, F&& fn) {
+    send_task(from, to, when, Task(std::forward<F>(fn)));
+  }
+
+  /// Run every shard up to and including `limit`; afterwards each
+  /// shard's clock reads `limit` and later work stays queued. Spawns one
+  /// thread per shard (unless use_threads is false) and joins them
+  /// before returning. Callable repeatedly with increasing limits.
+  void run_until(SimTime limit);
+
+  /// Virtual time every shard has reached (== the last run_until limit).
+  [[nodiscard]] SimTime now() const { return now_; }
+  /// The executing shard's local clock; callable from actor callbacks.
+  [[nodiscard]] SimTime now_on(ActorId actor) const;
+
+  [[nodiscard]] std::uint64_t events_processed() const;
+  /// Conservative windows executed across the whole run so far.
+  [[nodiscard]] std::uint64_t windows() const { return windows_; }
+  [[nodiscard]] ShardStats shard_stats(std::uint32_t shard) const;
+
+ private:
+  friend class ShardTaskHandle;
+  struct Shard;
+
+  ShardTaskHandle schedule_task(ActorId actor, SimTime when, Task fn);
+  void send_task(ActorId from, ActorId to, SimTime when, Task fn);
+
+  void worker(std::uint32_t shard, SimTime limit);
+  void run_inline(SimTime limit);
+  /// Two-phase barrier; when `reduce` is set the last arriver folds the
+  /// published shard minima into the next window (or the done flag).
+  void barrier(Shard& me, bool reduce, SimTime limit);
+  void reduce_window(SimTime limit);
+
+  /// Padded per-actor record: `send_seq` is written on every send by the
+  /// owning shard's thread, so neighbours on other shards must not share
+  /// its cache line.
+  struct alignas(64) ActorInfo {
+    std::uint32_t shard = 0;
+    std::uint64_t send_seq = 0;
+  };
+
+  /// The shard whose window the calling thread is executing (assertion
+  /// state for the shard-affinity contracts; null outside a run).
+  static thread_local Shard* tls_shard_;
+
+  std::uint32_t nshards_;
+  SimDuration lookahead_;
+  bool use_threads_;
+  std::size_t mailbox_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<ActorInfo> actors_;
+
+  SimTime now_ = 0;
+  std::uint64_t windows_ = 0;
+  bool running_ = false;
+
+  // Barrier + window reduction state (see barrier()).
+  alignas(64) std::atomic<std::uint32_t> arrived_{0};
+  alignas(64) std::atomic<std::uint64_t> round_{0};
+  std::unique_ptr<std::atomic<SimTime>[]> shard_min_;
+  std::atomic<SimTime> window_end_{0};
+  std::atomic<bool> done_{false};
+};
+
+}  // namespace netseer::sim

@@ -11,4 +11,24 @@ std::uint64_t Registry::total(std::string_view subsystem, std::string_view name)
   return sum;
 }
 
+void Registry::merge_from(const Registry& other) {
+  // Snapshot the source under its own lock, then fold under ours — same
+  // never-hold-both discipline as operator=.
+  const auto counters = other.counters();
+  const auto gauges = other.gauges();
+  const auto histograms = other.histograms();
+  util::MutexLock lock(mu_);
+  for (const auto& [k, counter] : counters) {
+    counters_[k].add(counter.value());
+  }
+  for (const auto& [k, gauge] : gauges) {
+    Gauge& mine = gauges_[k];
+    mine.update_max(gauge.value());
+    mine.update_max(gauge.peak());
+  }
+  for (const auto& [k, histogram] : histograms) {
+    histograms_[k].merge(histogram);
+  }
+}
+
 }  // namespace netseer::telemetry

@@ -1,0 +1,100 @@
+#include "fabric/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "fabric/fat_tree.h"
+
+namespace netseer::fabric {
+namespace {
+
+TestbedConfig small_config() {
+  TestbedConfig config;
+  config.num_pods = 4;
+  config.aggs_per_pod = 2;
+  config.tors_per_pod = 2;
+  config.num_cores = 4;
+  config.hosts_per_tor = 1;
+  return config;
+}
+
+TEST(Partition, RoundRobinCoversEverySwitchAndBalances) {
+  const auto config = small_config();
+  const Testbed bed = make_testbed(config);
+  const PartitionPlan plan = partition_switches(*bed.net, 4);
+
+  EXPECT_EQ(plan.shards, 4u);
+  EXPECT_EQ(plan.assignment.size(), bed.net->switches().size());
+  for (const auto& sw : bed.net->switches()) {
+    ASSERT_TRUE(plan.assignment.contains(sw->id())) << sw->name();
+    EXPECT_LT(plan.shard_of(sw->id()), 4u);
+  }
+  // 20 switches over 4 shards: perfectly balanced at 5 each.
+  ASSERT_EQ(plan.shard_sizes.size(), 4u);
+  for (const std::size_t size : plan.shard_sizes) EXPECT_EQ(size, 5u);
+}
+
+TEST(Partition, LookaheadIsMinSwitchSwitchLinkDelay) {
+  auto config = small_config();
+  config.link_delay = util::microseconds(2);
+  const Testbed bed = make_testbed(config);
+  for (const std::uint32_t shards : {1u, 2u, 4u}) {
+    // Identical for every shard count — the cross-shard-count determinism
+    // guarantee depends on it.
+    EXPECT_EQ(partition_switches(*bed.net, shards).lookahead, util::microseconds(2));
+    EXPECT_EQ(partition_testbed(bed, config, shards).lookahead, util::microseconds(2));
+  }
+}
+
+TEST(Partition, LinkCountsPartitionTheSwitchLinks) {
+  const auto config = small_config();
+  const Testbed bed = make_testbed(config);
+  const PartitionPlan one = partition_switches(*bed.net, 1);
+  EXPECT_EQ(one.cross_shard_links, 0u);
+  const std::size_t total = one.intra_shard_links;
+  EXPECT_GT(total, 0u);
+  for (const std::uint32_t shards : {2u, 4u}) {
+    const PartitionPlan plan = partition_switches(*bed.net, shards);
+    EXPECT_EQ(plan.cross_shard_links + plan.intra_shard_links, total) << shards;
+    EXPECT_GT(plan.cross_shard_links, 0u) << shards;
+  }
+}
+
+TEST(Partition, TestbedPartitionKeepsPodsTogether) {
+  const auto config = small_config();
+  const Testbed bed = make_testbed(config);
+  const PartitionPlan plan = partition_testbed(bed, config, 4);
+
+  for (int pod = 0; pod < config.num_pods; ++pod) {
+    const std::uint32_t shard = plan.shard_of(bed.aggs[pod * config.aggs_per_pod]->id());
+    for (int a = 0; a < config.aggs_per_pod; ++a) {
+      EXPECT_EQ(plan.shard_of(bed.aggs[pod * config.aggs_per_pod + a]->id()), shard) << pod;
+    }
+    for (int t = 0; t < config.tors_per_pod; ++t) {
+      EXPECT_EQ(plan.shard_of(bed.tors[pod * config.tors_per_pod + t]->id()), shard) << pod;
+    }
+  }
+  // With pods whole, only pod<->core links can cross.
+  const PartitionPlan naive = partition_switches(*bed.net, 4);
+  EXPECT_LE(plan.cross_shard_links, naive.cross_shard_links);
+  EXPECT_EQ(plan.assignment.size(), bed.net->switches().size());
+  const std::size_t assigned = std::accumulate(plan.shard_sizes.begin(),
+                                               plan.shard_sizes.end(), std::size_t{0});
+  EXPECT_EQ(assigned, bed.net->switches().size());
+}
+
+TEST(Partition, SingleShardDegeneratesGracefully) {
+  const auto config = small_config();
+  const Testbed bed = make_testbed(config);
+  const PartitionPlan plan = partition_testbed(bed, config, 1);
+  EXPECT_EQ(plan.shards, 1u);
+  EXPECT_EQ(plan.cross_shard_links, 0u);
+  for (const auto& sw : bed.net->switches()) {
+    EXPECT_EQ(plan.shard_of(sw->id()), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace netseer::fabric

@@ -129,5 +129,44 @@ TEST(Registry, SizeClearAndKinds) {
   EXPECT_TRUE(reg.empty());
 }
 
+TEST(Registry, MergeFromAddsCountersMaxesGaugesAndMergesHistograms) {
+  // The parallel engine's shard registries fold into one at snapshot
+  // time: counters are additive, gauges take the max (level and peak),
+  // histograms merge sample-for-sample.
+  Registry shard_a;
+  Registry shard_b;
+  shard_a.counter("pdp", "drops", 1).add(3);
+  shard_b.counter("pdp", "drops", 1).add(4);
+  shard_b.counter("pdp", "drops", 2).add(5);  // only shard b has node 2
+  shard_a.gauge("pdp", "queue.peak", 1).set(10);
+  shard_b.gauge("pdp", "queue.peak", 1).set(7);
+  shard_a.histogram("core", "batch", 1).record(2.0);
+  shard_b.histogram("core", "batch", 1).record(8.0);
+
+  Registry merged;
+  merged.gauge("pdp", "queue.peak", 1).set(2);  // pre-existing, lower
+  merged.merge_from(shard_a);
+  merged.merge_from(shard_b);
+
+  EXPECT_EQ(merged.counter("pdp", "drops", 1).value(), 7u);
+  EXPECT_EQ(merged.counter("pdp", "drops", 2).value(), 5u);
+  EXPECT_EQ(merged.gauge("pdp", "queue.peak", 1).value(), 10);
+  EXPECT_EQ(merged.gauge("pdp", "queue.peak", 1).peak(), 10);
+  EXPECT_EQ(merged.histogram("core", "batch", 1).summary().count(), 2u);
+  EXPECT_EQ(merged.total("pdp", "drops"), 12u);
+  // Sources are untouched.
+  EXPECT_EQ(shard_a.counter("pdp", "drops", 1).value(), 3u);
+}
+
+TEST(Registry, MergeFromPreservesGaugePeaksAboveCurrentLevels) {
+  Registry source;
+  Gauge& g = source.gauge("sim", "depth");
+  g.set(100);  // peak 100
+  g.set(1);    // level back down
+  Registry merged;
+  merged.merge_from(source);
+  EXPECT_EQ(merged.gauge("sim", "depth").peak(), 100);
+}
+
 }  // namespace
 }  // namespace netseer::telemetry
