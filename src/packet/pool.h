@@ -1,12 +1,11 @@
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "mc/shim.h"
 #include "packet/packet.h"
 #include "util/thread_annotations.h"
 
@@ -38,7 +37,9 @@ class PooledPacket {
   }
   PooledPacket(const PooledPacket&) = delete;
   PooledPacket& operator=(const PooledPacket&) = delete;
-  ~PooledPacket() { reset(); }
+  // noexcept(false) only under NETSEER_MC: release is a scheduling point
+  // there, and run teardown unwinds parked threads with an exception.
+  ~PooledPacket() NETSEER_MC_NOEXCEPT_FALSE { reset(); }
 
   [[nodiscard]] explicit operator bool() const { return pkt_ != nullptr; }
   [[nodiscard]] Packet& operator*() { return *pkt_; }
@@ -91,8 +92,13 @@ class Pool {
   /// owner may call acquire().
   void bind_owner() { owner_ = std::this_thread::get_id(); }
 
+  /// True when the calling thread is the fast-path owner. acquire()
+  /// asserts this in debug builds; callers unsure of their shard
+  /// affinity (tests, diagnostics) can check explicitly.
+  [[nodiscard]] bool owned_by_caller() const { return std::this_thread::get_id() == owner_; }
+
   /// Park `pkt` in a recycled slot and get the small handle for it.
-  /// Owner thread only.
+  /// Owner thread only (enforced by a debug-build assertion).
   [[nodiscard]] PooledPacket acquire(Packet&& pkt);
 
   [[nodiscard]] std::uint64_t acquires() const { return acquires_; }
@@ -109,9 +115,14 @@ class Pool {
  private:
   friend class PooledPacket;
   void release(Packet* pkt);
-  void release_remote(Packet* pkt);
-  void drain_remote();
+  void release_remote(Packet* pkt) NETSEER_EXCLUDES(remote_mu_);
+  void drain_remote() NETSEER_EXCLUDES(remote_mu_);
 
+  // Owner-thread-only state: the free-list fast path. Not lock-guarded
+  // by design — the owner discipline (bind_owner + the acquire()
+  // assertion) is what makes it safe, and the model checker's race
+  // instrumentation on free_ verifies that discipline holds in every
+  // explored schedule.
   std::vector<std::unique_ptr<Packet[]>> chunks_;
   std::vector<Packet*> free_;
   std::size_t slot_count_ = 0;
@@ -119,9 +130,9 @@ class Pool {
   std::uint64_t reuses_ = 0;
 
   std::thread::id owner_;
-  std::atomic<bool> remote_pending_{false};  // checked lock-free on acquire
-  std::atomic<std::uint64_t> remote_returns_{0};
-  std::mutex remote_mu_;
+  mc_shim::atomic<bool> remote_pending_{false};  // checked lock-free on acquire
+  mc_shim::atomic<std::uint64_t> remote_returns_{0};
+  util::Mutex remote_mu_;
   std::vector<Packet*> remote_ NETSEER_GUARDED_BY(remote_mu_);
 };
 

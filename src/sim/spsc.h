@@ -1,9 +1,10 @@
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <utility>
 #include <vector>
+
+#include "mc/shim.h"
 
 namespace netseer::sim {
 
@@ -32,10 +33,26 @@ class SpscRing {
 
   [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
 
+  /// Producer-side fullness probe: pure loads, so a producer can poll
+  /// (or an mc::await predicate can watch) without attempting a push.
+  /// Only the producer may act on a false result — space never shrinks
+  /// under it, so !full() guarantees its next try_push succeeds.
+  [[nodiscard]] bool full() const {
+    return tail_.load(std::memory_order_relaxed) - head_.load(std::memory_order_acquire) ==
+           slots_.size();
+  }
+
+  /// Consumer-side emptiness probe, same contract mirrored: !empty()
+  /// guarantees the consumer's next try_pop succeeds.
+  [[nodiscard]] bool empty() const {
+    return tail_.load(std::memory_order_acquire) == head_.load(std::memory_order_relaxed);
+  }
+
   /// Producer side. Returns false (value untouched) when the ring is full.
   [[nodiscard]] bool try_push(T& value) {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     if (tail - head_.load(std::memory_order_acquire) == slots_.size()) return false;
+    NETSEER_MC_WRITE(&slots_[tail & mask_], "SpscRing::slots_[tail]");
     slots_[tail & mask_] = std::move(value);
     tail_.store(tail + 1, std::memory_order_release);
     return true;
@@ -46,6 +63,7 @@ class SpscRing {
   [[nodiscard]] bool try_pop(T& out) {
     const std::size_t head = head_.load(std::memory_order_relaxed);
     if (tail_.load(std::memory_order_acquire) == head) return false;
+    NETSEER_MC_WRITE(&slots_[head & mask_], "SpscRing::slots_[head]");
     out = std::move(slots_[head & mask_]);
     slots_[head & mask_] = T{};
     head_.store(head + 1, std::memory_order_release);
@@ -55,8 +73,8 @@ class SpscRing {
  private:
   std::vector<T> slots_;
   std::size_t mask_ = 0;
-  alignas(64) std::atomic<std::size_t> head_{0};  // consumer cursor
-  alignas(64) std::atomic<std::size_t> tail_{0};  // producer cursor
+  alignas(64) mc_shim::atomic<std::size_t> head_{0};  // consumer cursor
+  alignas(64) mc_shim::atomic<std::size_t> tail_{0};  // producer cursor
 };
 
 }  // namespace netseer::sim

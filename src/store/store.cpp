@@ -112,7 +112,10 @@ FlowEventStore::FlowEventStore(StoreOptions options) : options_(std::move(option
   if (options_.shard_batch == 0) options_.shard_batch = 1;
   if (options_.segment_events == 0) options_.segment_events = 1;
   if (options_.compact_fanin < 2) options_.compact_fanin = 2;
-  if (durable()) recover_from_dir();
+  if (durable()) {
+    util::MutexLock lock(maint_mu_);
+    recover_from_dir();
+  }
 }
 
 FlowEventStore::~FlowEventStore() {
@@ -186,6 +189,7 @@ bool FlowEventStore::sync() {
 
 void FlowEventStore::seal_active() {
   if (memtable_.empty()) return;
+  util::MutexLock lock(maint_mu_);
   auto segment = std::make_unique<Segment>(Segment::build(std::move(memtable_)));
   memtable_.clear();
   if (durable()) {
@@ -197,10 +201,10 @@ void FlowEventStore::seal_active() {
   }
   segments_.push_back(std::move(segment));
   ++stats_.segments_sealed;
-  if (wal_) stats_.wal_files_deleted += wal_->remove_obsolete(sealed_durable_watermark());
+  wal_gc_locked();
 }
 
-std::uint64_t FlowEventStore::sealed_durable_watermark() const {
+std::uint64_t FlowEventStore::sealed_durable_watermark_locked() const {
   // Advance only across contiguously durable segments: a memory-only
   // segment in the middle (failed save) still needs its WAL rows.
   std::uint64_t watermark = sealed_watermark_floor_;
@@ -211,7 +215,16 @@ std::uint64_t FlowEventStore::sealed_durable_watermark() const {
   return watermark;
 }
 
+void FlowEventStore::wal_gc_locked() {
+  if (wal_) stats_.wal_files_deleted += wal_->remove_obsolete(sealed_durable_watermark_locked());
+}
+
 std::size_t FlowEventStore::compact() {
+  util::MutexLock lock(maint_mu_);
+  return compact_locked();
+}
+
+std::size_t FlowEventStore::compact_locked() {
   std::size_t merges = 0;
   while (segments_.size() > options_.compact_min_segments) {
     const std::size_t fanin = std::min(options_.compact_fanin, segments_.size());
@@ -246,6 +259,11 @@ std::size_t FlowEventStore::compact() {
 }
 
 std::size_t FlowEventStore::enforce_retention() {
+  util::MutexLock lock(maint_mu_);
+  return enforce_retention_locked();
+}
+
+std::size_t FlowEventStore::enforce_retention_locked() {
   if (options_.retain_events == 0) return 0;
   std::uint64_t sealed_rows = 0;
   for (const auto& segment : segments_) sealed_rows += segment->size();
@@ -267,17 +285,22 @@ std::size_t FlowEventStore::enforce_retention() {
 }
 
 void FlowEventStore::maintain() {
-  compact();
-  enforce_retention();
-  if (wal_) stats_.wal_files_deleted += wal_->remove_obsolete(sealed_durable_watermark());
+  // One acquisition for the whole round (the mutex is non-recursive).
+  util::MutexLock lock(maint_mu_);
+  compact_locked();
+  enforce_retention_locked();
+  wal_gc_locked();
 }
 
 void FlowEventStore::checkpoint() {
   flush();
   seal_active();
   if (wal_ && !wal_->dead() && wal_->sync()) ++stats_.wal_syncs;
-  maintain();
-  const std::uint64_t watermark = sealed_durable_watermark();
+  util::MutexLock lock(maint_mu_);
+  compact_locked();
+  enforce_retention_locked();
+  wal_gc_locked();
+  const std::uint64_t watermark = sealed_durable_watermark_locked();
   if (!legacy_wal_files_.empty() && watermark >= legacy_wal_max_lsn_) {
     for (const auto& path : legacy_wal_files_) {
       std::error_code ec;

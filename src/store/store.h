@@ -12,6 +12,7 @@
 #include "sim/simulator.h"
 #include "store/segment.h"
 #include "store/wal.h"
+#include "util/thread_annotations.h"
 
 namespace netseer::store {
 
@@ -157,22 +158,27 @@ class FlowEventStore final : public backend::EventSink {
   [[nodiscard]] std::uint64_t durable_lsn() const { return durable_lsn_; }
 
   // ---- Lifecycle -------------------------------------------------------
+  // The maintenance entry points serialize on maint_mu_ (annotated,
+  // enforced by the clang -Wthread-safety CI legs), so a background
+  // maintenance thread could run compaction/retention/WAL-GC against
+  // the ingest path without corrupting the segment-file bookkeeping.
+
   /// Seal the memtable into an immutable segment now (no-op when empty).
-  void seal_active();
+  void seal_active() NETSEER_EXCLUDES(maint_mu_);
 
   /// Merge the oldest segments while over the compaction threshold;
   /// returns the number of merges performed.
-  std::size_t compact();
+  std::size_t compact() NETSEER_EXCLUDES(maint_mu_);
 
   /// Enforce the retention budget; returns segments evicted.
-  std::size_t enforce_retention();
+  std::size_t enforce_retention() NETSEER_EXCLUDES(maint_mu_);
 
   /// One background maintenance round: compaction, retention, WAL GC.
-  void maintain();
+  void maintain() NETSEER_EXCLUDES(maint_mu_);
 
   /// Clean shutdown / `netseer_store recover`: flush, seal, sync, and
   /// garbage-collect every WAL file made obsolete by sealed segments.
-  void checkpoint();
+  void checkpoint() NETSEER_EXCLUDES(maint_mu_);
 
   /// Schedule maintain() every `interval` on `sim`. Cancel the returned
   /// handle before draining the simulation (a periodic task keeps the
@@ -217,9 +223,19 @@ class FlowEventStore final : public backend::EventSink {
   };
 
   void flush_shard(Shard& shard);
-  void recover_from_dir();
+  void recover_from_dir() NETSEER_REQUIRES(maint_mu_);
+
+  // The _locked split of the maintenance entry points: the public
+  // methods take maint_mu_ and delegate here, and composite rounds
+  // (maintain, checkpoint) call these directly so the whole round runs
+  // under one acquisition of the non-recursive mutex.
+  std::size_t compact_locked() NETSEER_REQUIRES(maint_mu_);
+  std::size_t enforce_retention_locked() NETSEER_REQUIRES(maint_mu_);
+  /// Delete WAL files fully covered by sealed durable segments.
+  void wal_gc_locked() NETSEER_REQUIRES(maint_mu_);
   /// Watermark for WAL GC: max LSN sealed into *durable* segments.
-  [[nodiscard]] std::uint64_t sealed_durable_watermark() const;
+  [[nodiscard]] std::uint64_t sealed_durable_watermark_locked() const
+      NETSEER_REQUIRES(maint_mu_);
 
   StoreOptions options_;
   std::unique_ptr<WalWriter> wal_;
@@ -233,14 +249,21 @@ class FlowEventStore final : public backend::EventSink {
 
   std::vector<Row> memtable_;
   std::vector<std::unique_ptr<Segment>> segments_;  // oldest first (LSN order)
-  std::uint32_t next_segment_file_ = 1;
+
+  /// Serializes the maintenance paths (seal/compact/retention/WAL-GC)
+  /// and guards their segment-file bookkeeping. The memtable, shard
+  /// buffers, and segments_ vector stay under the store's single-writer
+  /// ingest contract (the simulator is single-threaded); this mutex is
+  /// scoped to the state a background maintenance pass would touch.
+  mutable util::Mutex maint_mu_;
+  std::uint32_t next_segment_file_ NETSEER_GUARDED_BY(maint_mu_) = 1;
   /// Max LSN of evicted durable segments: the WAL-GC walk resumes here.
-  std::uint64_t sealed_watermark_floor_ = 0;
+  std::uint64_t sealed_watermark_floor_ NETSEER_GUARDED_BY(maint_mu_) = 0;
 
   /// WAL files found at recovery (not owned by the current writer);
   /// deletable once checkpoint() has sealed everything they cover.
-  std::vector<std::string> legacy_wal_files_;
-  std::uint64_t legacy_wal_max_lsn_ = 0;
+  std::vector<std::string> legacy_wal_files_ NETSEER_GUARDED_BY(maint_mu_);
+  std::uint64_t legacy_wal_max_lsn_ NETSEER_GUARDED_BY(maint_mu_) = 0;
 };
 
 /// Parse a compact query spec, shared by `netseer_sim --store-query` and

@@ -167,11 +167,13 @@ WalWriter::WalWriter(const Options& options, std::uint32_t first_file_index)
     : options_(options), next_index_(first_file_index) {
   if (enabled()) {
     fs::create_directories(options_.dir);
+    util::MutexLock lock(mu_);
     open_next_file();
   }
 }
 
 WalWriter::~WalWriter() {
+  util::MutexLock lock(mu_);
   if (file_ != nullptr) {
     std::fflush(file_);
     std::fclose(file_);
@@ -236,6 +238,7 @@ void WalWriter::close_current() {
 }
 
 bool WalWriter::append(std::span<const Row> rows) {
+  util::MutexLock lock(mu_);
   if (!enabled() || dead_ || rows.empty()) return false;
   // The record header's row count is a u16: frame oversized batches as
   // several records instead of letting the count wrap and misframe the
@@ -276,6 +279,7 @@ bool WalWriter::append_record(std::span<const Row> rows) {
 }
 
 bool WalWriter::sync() {
+  util::MutexLock lock(mu_);
   if (!enabled() || dead_ || file_ == nullptr) return false;
   if (!sync_file(file_)) {
     dead_ = true;
@@ -293,6 +297,7 @@ bool WalWriter::sync() {
 }
 
 std::size_t WalWriter::remove_obsolete(std::uint64_t sealed_watermark) {
+  util::MutexLock lock(mu_);
   // Rotate away from the current file once everything in it is sealed,
   // so it becomes deletable below instead of pinning covered records.
   if (!dead_ && file_ != nullptr && !files_.empty() && files_.back().max_lsn > 0 &&

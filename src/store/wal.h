@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "store/format.h"
+#include "util/thread_annotations.h"
 
 namespace netseer::store {
 
@@ -61,6 +62,12 @@ WalReplayResult replay_wal_dir(const std::string& dir, std::uint64_t watermark,
 /// fail_after_bytes(n), only the next n bytes reach the file — a write
 /// that crosses the budget is truncated mid-record and every later byte
 /// is dropped, exactly the torn tail a power cut leaves behind.
+///
+/// Thread safety: every public entry point serializes on an internal
+/// mutex, so a future maintenance thread can checkpoint (remove_obsolete)
+/// concurrently with the ingest path's append/sync without torn file
+/// rotation. The guarded-by annotations below are enforced by the clang
+/// -Wthread-safety CI legs.
 class WalWriter {
  public:
   struct Options {
@@ -82,31 +89,53 @@ class WalWriter {
   /// and append it. Returns false once the writer is dead (fault budget
   /// exhausted or an I/O error), in which case nothing more will reach
   /// disk — the store keeps running in memory, counting the failure.
-  bool append(std::span<const Row> rows);
+  bool append(std::span<const Row> rows) NETSEER_EXCLUDES(mu_);
 
   /// Flush buffered bytes and fsync them (file, plus its directory entry
   /// the first time after a rotation). Rows appended before a successful
   /// sync() are the store's acknowledged (durable) set.
-  bool sync();
+  bool sync() NETSEER_EXCLUDES(mu_);
 
   /// Delete every closed WAL file whose rows are all at or below
   /// `sealed_watermark`, rotating away from the current file first when
   /// everything in it is covered too. Returns files deleted.
-  std::size_t remove_obsolete(std::uint64_t sealed_watermark);
+  std::size_t remove_obsolete(std::uint64_t sealed_watermark) NETSEER_EXCLUDES(mu_);
 
   /// Fault injection: allow only `budget` more bytes to reach disk.
-  void fail_after_bytes(std::uint64_t budget) {
+  void fail_after_bytes(std::uint64_t budget) NETSEER_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     fail_armed_ = true;
     fail_budget_ = budget;
   }
-  [[nodiscard]] bool dead() const { return dead_; }
+  [[nodiscard]] bool dead() const NETSEER_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return dead_;
+  }
 
-  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
-  [[nodiscard]] std::uint64_t records_written() const { return records_written_; }
-  [[nodiscard]] std::uint64_t syncs() const { return syncs_; }
-  [[nodiscard]] std::uint64_t files_opened() const { return files_opened_; }
-  [[nodiscard]] std::uint64_t files_deleted() const { return files_deleted_; }
-  [[nodiscard]] std::uint64_t synced_bytes() const { return synced_bytes_; }
+  [[nodiscard]] std::uint64_t bytes_written() const NETSEER_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return bytes_written_;
+  }
+  [[nodiscard]] std::uint64_t records_written() const NETSEER_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return records_written_;
+  }
+  [[nodiscard]] std::uint64_t syncs() const NETSEER_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return syncs_;
+  }
+  [[nodiscard]] std::uint64_t files_opened() const NETSEER_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return files_opened_;
+  }
+  [[nodiscard]] std::uint64_t files_deleted() const NETSEER_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return files_deleted_;
+  }
+  [[nodiscard]] std::uint64_t synced_bytes() const NETSEER_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return synced_bytes_;
+  }
 
  private:
   struct FileInfo {
@@ -116,30 +145,36 @@ class WalWriter {
     bool open = false;
   };
 
-  bool open_next_file();
-  void close_current();
+  bool open_next_file() NETSEER_REQUIRES(mu_);
+  void close_current() NETSEER_REQUIRES(mu_);
   /// Frame up to kWalMaxRecordRows rows as one record (append's unit).
-  bool append_record(std::span<const Row> rows);
+  bool append_record(std::span<const Row> rows) NETSEER_REQUIRES(mu_);
   /// Write through the fault gate; flips dead_ when the budget runs out.
-  bool write_raw(const std::byte* data, std::size_t n);
+  bool write_raw(const std::byte* data, std::size_t n) NETSEER_REQUIRES(mu_);
 
-  Options options_;
-  std::FILE* file_ = nullptr;
-  std::uint32_t next_index_ = 1;
-  std::uint64_t current_bytes_ = 0;
-  bool current_dir_synced_ = false;  // dirent of the current file fsynced?
-  std::vector<FileInfo> files_;
+  Options options_;  // immutable after construction: read lock-free
 
-  bool fail_armed_ = false;
-  std::uint64_t fail_budget_ = 0;
-  bool dead_ = false;
+  /// Serializes every writer entry point; mutable so the read-only
+  /// counter accessors can lock on a const writer.
+  mutable util::Mutex mu_;
 
-  std::uint64_t bytes_written_ = 0;
-  std::uint64_t synced_bytes_ = 0;
-  std::uint64_t records_written_ = 0;
-  std::uint64_t syncs_ = 0;
-  std::uint64_t files_opened_ = 0;
-  std::uint64_t files_deleted_ = 0;
+  std::FILE* file_ NETSEER_GUARDED_BY(mu_) = nullptr;
+  std::uint32_t next_index_ NETSEER_GUARDED_BY(mu_) = 1;
+  std::uint64_t current_bytes_ NETSEER_GUARDED_BY(mu_) = 0;
+  // dirent of the current file fsynced?
+  bool current_dir_synced_ NETSEER_GUARDED_BY(mu_) = false;
+  std::vector<FileInfo> files_ NETSEER_GUARDED_BY(mu_);
+
+  bool fail_armed_ NETSEER_GUARDED_BY(mu_) = false;
+  std::uint64_t fail_budget_ NETSEER_GUARDED_BY(mu_) = 0;
+  bool dead_ NETSEER_GUARDED_BY(mu_) = false;
+
+  std::uint64_t bytes_written_ NETSEER_GUARDED_BY(mu_) = 0;
+  std::uint64_t synced_bytes_ NETSEER_GUARDED_BY(mu_) = 0;
+  std::uint64_t records_written_ NETSEER_GUARDED_BY(mu_) = 0;
+  std::uint64_t syncs_ NETSEER_GUARDED_BY(mu_) = 0;
+  std::uint64_t files_opened_ NETSEER_GUARDED_BY(mu_) = 0;
+  std::uint64_t files_deleted_ NETSEER_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace netseer::store

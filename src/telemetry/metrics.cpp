@@ -12,6 +12,10 @@ std::uint64_t Registry::total(std::string_view subsystem, std::string_view name)
 }
 
 void Registry::merge_from(const Registry& other) {
+  // Folding a registry into itself would double every counter and
+  // histogram (the fold reads the snapshot taken one line earlier); the
+  // only sensible semantic for a self-merge is a no-op.
+  if (this == &other) return;
   // Snapshot the source under its own lock, then fold under ours — same
   // never-hold-both discipline as operator=.
   const auto counters = other.counters();

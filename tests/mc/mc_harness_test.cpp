@@ -1,0 +1,77 @@
+// The shipped harnesses (src/mc/harnesses.cpp), run through their own
+// pass criteria: correctness harnesses must EXHAUST their schedule
+// space cleanly, seeded-bug harnesses must get caught. The big
+// cmb_window space runs as a ctest entry of the netseer_mc binary
+// (model_check_cmb_window) rather than here, to keep this test quick.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mc/harnesses.h"
+
+namespace netseer::mc {
+namespace {
+
+const Harness& find(const std::string& name) {
+  for (const Harness& h : all_harnesses()) {
+    if (h.name == name) return h;
+  }
+  ADD_FAILURE() << "no harness named " << name;
+  static const Harness missing{};
+  return missing;
+}
+
+class McHarness : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(McHarness, PassesItsOwnCriteria) {
+  const Harness& harness = find(GetParam());
+  ASSERT_NE(harness.run, nullptr);
+  const Result result = harness.run(harness.options);
+  EXPECT_TRUE(harness.passed(result))
+      << harness.name << ": schedules=" << result.schedules << " exhausted=" << result.exhausted
+      << " failed=" << result.failed << " failure=" << result.failure;
+  if (harness.expect_failure) {
+    // A seeded-bug harness must hand back the schedule that tripped it.
+    EXPECT_TRUE(result.failed);
+    EXPECT_FALSE(result.trace.empty());
+  } else {
+    EXPECT_TRUE(result.exhausted);
+    EXPECT_GE(result.schedules, 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllButCmbWindow, McHarness,
+                         ::testing::Values("spsc_serial", "spsc_handoff", "spsc_seeded_relaxed",
+                                           "pool_remote_release", "registry_cross_merge",
+                                           "cmb_seeded_lost_window"),
+                         [](const auto& info) { return std::string(info.param); });
+
+TEST(McHarnessRegistry, NamesAreUniqueAndSummariesPresent) {
+  const auto& harnesses = all_harnesses();
+  ASSERT_GE(harnesses.size(), 5u);
+  for (std::size_t i = 0; i < harnesses.size(); ++i) {
+    EXPECT_FALSE(harnesses[i].name.empty());
+    EXPECT_FALSE(harnesses[i].summary.empty());
+    for (std::size_t j = i + 1; j < harnesses.size(); ++j) {
+      EXPECT_NE(harnesses[i].name, harnesses[j].name);
+    }
+  }
+}
+
+TEST(McHarnessRegistry, CoversTheRequiredPrimitives) {
+  // The concurrency-correctness contract: the SPSC ring, the packet
+  // pool's remote release, the registry cross-merge, and the 2-shard
+  // CMB window protocol each have an exhaustive harness, and at least
+  // one seeded-bug harness proves the checker's teeth.
+  bool seeded = false;
+  for (const char* required : {"spsc_handoff", "pool_remote_release", "registry_cross_merge",
+                               "cmb_window"}) {
+    const Harness& harness = find(required);
+    EXPECT_FALSE(harness.expect_failure) << required;
+  }
+  for (const Harness& h : all_harnesses()) seeded = seeded || h.expect_failure;
+  EXPECT_TRUE(seeded);
+}
+
+}  // namespace
+}  // namespace netseer::mc

@@ -150,6 +150,24 @@ TEST(Pool, BindOwnerMovesTheFastPath) {
   EXPECT_EQ(pool.reuses(), 1u);
 }
 
+TEST(Pool, OwnedByCallerTracksBindOwner) {
+  // acquire() is owner-thread-only (debug builds assert it); callers
+  // unsure of their shard affinity probe owned_by_caller() first.
+  Pool pool;
+  EXPECT_TRUE(pool.owned_by_caller());  // constructor adopts this thread
+  std::thread shard([&] {
+    EXPECT_FALSE(pool.owned_by_caller());
+    pool.bind_owner();
+    EXPECT_TRUE(pool.owned_by_caller());
+    auto slot = pool.acquire(make_packet(3));  // legal: we own it now
+    slot.reset();
+  });
+  shard.join();
+  EXPECT_FALSE(pool.owned_by_caller());  // ownership stayed with the shard
+  pool.bind_owner();
+  EXPECT_TRUE(pool.owned_by_caller());
+}
+
 TEST(Pool, ManyRemoteReleasesAllComeBack) {
   constexpr std::uint64_t kPackets = 256;
   Pool pool;

@@ -168,5 +168,45 @@ TEST(Registry, MergeFromPreservesGaugePeaksAboveCurrentLevels) {
   EXPECT_EQ(merged.gauge("sim", "depth").peak(), 100);
 }
 
+TEST(Registry, MergeFromEmptySourceIsANoOp) {
+  Registry target;
+  target.counter("pdp", "drops", 1).add(3);
+  target.gauge("sim", "depth").set(9);
+  const Registry empty;
+  target.merge_from(empty);
+  EXPECT_EQ(target.size(), 2u);
+  EXPECT_EQ(target.counter("pdp", "drops", 1).value(), 3u);
+  EXPECT_EQ(target.gauge("sim", "depth").value(), 9);
+}
+
+TEST(Registry, MergeFromSelfIsANoOp) {
+  // A self-merge must not double the counters (merge_from copies the
+  // source first, so without the identity check it would fold the copy
+  // back into the original).
+  Registry registry;
+  registry.counter("pdp", "drops", 1).add(3);
+  registry.histogram("core", "batch", 1).record(2.0);
+  registry.merge_from(registry);
+  EXPECT_EQ(registry.counter("pdp", "drops", 1).value(), 3u);
+  EXPECT_EQ(registry.histogram("core", "batch", 1).summary().count(), 1u);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(Registry, MergeFromRepeatedFoldsCountersAndKeepsGaugesStable) {
+  // Merging the same unchanged source twice adds counters twice (the
+  // documented additive semantics) while max-merged gauges are
+  // idempotent — the caller contract is "merge each shard exactly once
+  // per snapshot".
+  Registry source;
+  source.counter("pdp", "drops", 1).add(4);
+  source.gauge("pdp", "queue.peak", 1).set(10);
+  Registry target;
+  target.merge_from(source);
+  target.merge_from(source);
+  EXPECT_EQ(target.counter("pdp", "drops", 1).value(), 8u);
+  EXPECT_EQ(target.gauge("pdp", "queue.peak", 1).value(), 10);
+  EXPECT_EQ(target.gauge("pdp", "queue.peak", 1).peak(), 10);
+}
+
 }  // namespace
 }  // namespace netseer::telemetry
