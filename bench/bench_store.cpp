@@ -1,19 +1,30 @@
-// Flow-event store microbench: ingest throughput (in-memory and durable)
-// and the query engine's index/pruning behaviour over a sealed store.
+// Flow-event store microbench: ingest throughput (in-memory, legacy
+// inline-durability, and group-commit durable), plus the query engine's
+// index/pruning behaviour and scatter-gather parallelism over a sealed
+// store.
 //
 //   bench_store --events 2000000 --reps 3
 //   bench_store --events 2000000 --baseline bench/BENCH_store.json
 //
-// With --baseline the run exits 1 if the best in-memory ingest rate lands
-// more than --max-regression-pct below the checked-in value — the CI
-// perf-smoke gate, same contract as bench_engine. The query phase asserts
-// that time-windowed queries actually prune segments (the whole point of
-// the per-segment time fences); zero pruning fails the run.
+// With --baseline the run exits 1 if the best in-memory ingest rate or
+// the best group-commit durable rate lands more than
+// --max-regression-pct below its checked-in value — the CI perf-smoke
+// gate, same contract as bench_engine. The parallel-query phase always
+// asserts result parity with the serial cursor; its speedup gate is
+// hardware-aware (min_speedup_per_core x available cores, skipped on
+// single-core machines), same contract as bench_scalability. The query
+// phase asserts that time-windowed queries actually prune segments (the
+// whole point of the per-segment time fences); zero pruning fails the
+// run. All gated numbers also land in the --metrics-out snapshot, which
+// is what CI parses.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/event.h"
@@ -68,26 +79,51 @@ double ingest_run(store::FlowEventStore& fs, std::uint64_t events) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }
 
+/// The 2000-query time-window workload shared by the serial and
+/// parallel query phases: narrow windows (span/256) over the sealed
+/// store, every second one type-filtered.
+std::size_t query_sweep(const store::FlowEventStore& fs, util::SimTime span, double* wall_out) {
+  EventGen qgen;
+  constexpr int kQueries = 2000;
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t total_matches = 0;
+  for (int q = 0; q < kQueries; ++q) {
+    backend::EventQuery query;
+    const auto r = qgen.rnd();
+    const auto from = static_cast<util::SimTime>(r % static_cast<std::uint64_t>(span));
+    query.since(from).until(from + span / 256);
+    if (q % 2 == 0) query.of_type(core::EventType::kCongestion);
+    total_matches += fs.count(query);
+  }
+  *wall_out = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return total_matches;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::uint64_t events = 2'000'000;
   int reps = 3;
+  std::uint64_t gc_shard_batch = 2048;
+  std::uint64_t gc_chunk = 2048;
   std::string baseline_path;
   double max_regression_pct = 20.0;
   ExperimentOptions cli{"Store microbench — ingest events/sec and query pruning"};
   cli.flag("events", &events, "events per ingest rep")
       .flag("reps", &reps, "take the best rate over this many reps")
+      .flag("gc-shard-batch", &gc_shard_batch, "shard batch for the group-commit phase")
+      .flag("gc-chunk", &gc_chunk, "add_batch chunk size for the group-commit phase")
       .flag("baseline", &baseline_path, "BENCH_store.json to gate regressions against")
       .flag("max-regression-pct", &max_regression_pct, "allowed ingest drop vs baseline")
       .parse(argc, argv);
   if (events < 1) events = 1;
   if (reps < 1) reps = 1;
+  if (gc_chunk < 1) gc_chunk = 1;
 
   print_title("Flow-event store microbench");
 
   // Phase 1: in-memory ingest (shard buffers -> memtable -> seal ->
-  // compaction, no WAL). This is the number the baseline gates.
+  // compaction, no WAL), per-event add(). One of the two gated numbers.
   double best_mem = -1.0;
   for (int rep = 0; rep < reps; ++rep) {
     store::FlowEventStore fs;
@@ -98,8 +134,9 @@ int main(int argc, char** argv) {
     if (eps > best_mem) best_mem = eps;
   }
 
-  // Phase 2: durable ingest — same stream through the CRC-framed WAL and
-  // segment files in a scratch directory.
+  // Phase 2: legacy durable ingest — per-event add() through the WAL,
+  // event generation inside the clock. Kept for continuity with the
+  // pre-group-commit baseline history; not gated.
   const auto dir = std::filesystem::temp_directory_path() / "netseer_bench_store";
   double best_dur = -1.0;
   std::uint64_t wal_bytes = 0;
@@ -115,46 +152,122 @@ int main(int argc, char** argv) {
                 eps / 1e6, static_cast<double>(wal_bytes) / 1e6);
     if (eps > best_dur) best_dur = eps;
   }
+
+  // Phase 3: group-commit durable ingest — the batch-first API fed
+  // pre-generated events (the clock sees the store, not the generator),
+  // acknowledged ONLY by the durable watermark: no inline fsync, one
+  // blocking sync() at the end, and the run fails unless every event is
+  // inside the watermark afterwards. The other gated number.
+  std::vector<core::FlowEvent> pregen;
+  pregen.reserve(events);
+  {
+    EventGen gen;
+    for (std::uint64_t i = 0; i < events; ++i) pregen.push_back(gen.next(i));
+  }
+  double best_gc = -1.0;
+  std::uint64_t gc_groups = 0, gc_max_group = 0, gc_queue_waits = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::filesystem::remove_all(dir);
+    store::StoreOptions options;
+    options.dir = dir.string();
+    options.shard_batch = gc_shard_batch;
+    options.writer_queue = 128;
+    options.wal_segment_bytes = 16ull << 20u;
+    store::FlowEventStore fs(options);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t off = 0; off < events; off += gc_chunk) {
+      const auto n = static_cast<std::size_t>(std::min<std::uint64_t>(gc_chunk, events - off));
+      fs.add_batch(std::span<const core::FlowEvent>{pregen.data() + off, n},
+                   pregen[off].detected_at + 50);
+    }
+    const bool synced = fs.sync();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    if (!synced || fs.durable_watermark() < events) {
+      std::fprintf(stderr, "FAIL: group-commit sync did not cover the run (watermark %llu)\n",
+                   static_cast<unsigned long long>(fs.durable_watermark()));
+      return 1;
+    }
+    const double eps = static_cast<double>(events) / wall;
+    const auto& s = fs.stats();
+    std::printf(
+        "  gc  ingest rep %d: %.3fs (%.2fM events/s, %llu fsync groups, max %llu batches)\n",
+        rep, wall, eps / 1e6, static_cast<unsigned long long>(s.groups_committed),
+        static_cast<unsigned long long>(s.max_group_batches));
+    if (eps > best_gc) {
+      best_gc = eps;
+      gc_groups = s.groups_committed;
+      gc_max_group = s.max_group_batches;
+      gc_queue_waits = s.writer_queue_waits;
+    }
+  }
   std::filesystem::remove_all(dir);
 
-  // Phase 3: query engine over a sealed in-memory store. Narrow time
+  // Phase 4: query engine over a sealed in-memory store. Narrow time
   // windows must prune most segments via the min/max fences.
   store::FlowEventStore fs;
   (void)ingest_run(fs, events);
   fs.seal_active();
   const util::SimTime span = static_cast<util::SimTime>(events) * 100;
-  EventGen qgen;
-  const int kQueries = 2000;
-  const auto qstart = std::chrono::steady_clock::now();
-  std::size_t total_matches = 0;
-  for (int q = 0; q < kQueries; ++q) {
-    backend::EventQuery query;
-    const auto r = qgen.rnd();
-    const auto from = static_cast<util::SimTime>(r % static_cast<std::uint64_t>(span));
-    query.from = from;
-    query.to = from + span / 256;
-    if (q % 2 == 0) query.type = core::EventType::kCongestion;
-    total_matches += fs.count(query);
-  }
-  const double qwall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - qstart).count();
+  double serial_qwall = 0;
+  const std::size_t serial_matches = query_sweep(fs, span, &serial_qwall);
   const auto& stats = fs.stats();
-  std::printf("\n  queries           %d time-windowed (%.0f/s), %zu matches\n", kQueries,
-              kQueries / qwall, total_matches);
+  std::printf("\n  queries           2000 time-windowed (%.0f/s), %zu matches\n",
+              2000 / serial_qwall, serial_matches);
   std::printf("  segments          %zu; scanned %llu, pruned %llu (%.1f%% pruned)\n",
               fs.segment_count(), static_cast<unsigned long long>(stats.segments_scanned),
               static_cast<unsigned long long>(stats.segments_pruned),
               100.0 * static_cast<double>(stats.segments_pruned) /
                   static_cast<double>(stats.segments_scanned + stats.segments_pruned));
-  std::printf("  ingest mem        %.2fM events/s\n", best_mem / 1e6);
-  std::printf("  ingest wal        %.2fM events/s\n", best_dur / 1e6);
-
   if (stats.segments_pruned == 0) {
     std::fprintf(stderr, "FAIL: time-windowed queries pruned zero segments\n");
     return 1;
   }
 
-  if (cli.metrics_enabled()) telemetry::collect(cli.registry(), fs);
+  // Phase 5: the same sweep scatter-gathered over a query pool. Result
+  // parity with the serial cursor is unconditional; the speedup gate is
+  // hardware-aware and skipped below 2 cores.
+  const unsigned hw_threads = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t pool_threads = std::min<std::size_t>(hw_threads > 1 ? hw_threads : 2, 8);
+  fs.set_query_threads(pool_threads);
+  double parallel_qwall = 0;
+  const std::size_t parallel_matches = query_sweep(fs, span, &parallel_qwall);
+  fs.set_query_threads(1);
+  if (parallel_matches != serial_matches) {
+    std::fprintf(stderr, "FAIL: parallel query matches %zu != serial %zu\n", parallel_matches,
+                 serial_matches);
+    return 1;
+  }
+  const double speedup = serial_qwall / parallel_qwall;
+  std::printf("  parallel queries  %zu threads: %.0f/s (%.2fx serial, parity ok)\n",
+              pool_threads, 2000 / parallel_qwall, speedup);
+
+  std::printf("  ingest mem        %.2fM events/s\n", best_mem / 1e6);
+  std::printf("  ingest wal        %.2fM events/s (inline add, generator on the clock)\n",
+              best_dur / 1e6);
+  std::printf("  ingest gc         %.2fM events/s (group commit, watermark acks, "
+              "%llu groups, %llu queue waits)\n",
+              best_gc / 1e6, static_cast<unsigned long long>(gc_groups),
+              static_cast<unsigned long long>(gc_queue_waits));
+
+  if (cli.metrics_enabled()) {
+    telemetry::collect(cli.registry(), fs);
+    auto& reg = cli.registry();
+    reg.gauge("bench_store", "ingest_mem_eps").update_max(static_cast<std::int64_t>(best_mem));
+    reg.gauge("bench_store", "ingest_wal_eps").update_max(static_cast<std::int64_t>(best_dur));
+    reg.gauge("bench_store", "ingest_gc_eps").update_max(static_cast<std::int64_t>(best_gc));
+    reg.gauge("bench_store", "gc_fsync_groups")
+        .update_max(static_cast<std::int64_t>(gc_groups));
+    reg.gauge("bench_store", "gc_max_group_batches")
+        .update_max(static_cast<std::int64_t>(gc_max_group));
+    reg.gauge("bench_store", "query_serial_per_sec")
+        .update_max(static_cast<std::int64_t>(2000 / serial_qwall));
+    reg.gauge("bench_store", "query_parallel_per_sec")
+        .update_max(static_cast<std::int64_t>(2000 / parallel_qwall));
+    reg.gauge("bench_store", "query_parallel_speedup_pct")
+        .update_max(static_cast<std::int64_t>(speedup * 100));
+    reg.gauge("bench_store", "query_parity").update_max(1);
+  }
 
   if (!baseline_path.empty()) {
     FILE* f = std::fopen(baseline_path.c_str(), "rb");
@@ -175,12 +288,45 @@ int main(int argc, char** argv) {
       return 1;
     }
     const double floor = baseline_eps * (1.0 - max_regression_pct / 100.0);
-    std::printf("\n  baseline          %.0f events/s (%s)\n", baseline_eps,
-                baseline_path.c_str());
-    std::printf("  regression floor  %.0f events/s (-%g%%)\n", floor, max_regression_pct);
+    std::printf("\n  baseline mem      %.0f events/s, floor %.0f (-%g%%)\n", baseline_eps,
+                floor, max_regression_pct);
     if (best_mem < floor) {
       std::fprintf(stderr, "FAIL: ingest %.0f events/s below floor %.0f\n", best_mem, floor);
       return 1;
+    }
+    const double baseline_gc = read_json_number(text, "baseline_durable_events_per_sec");
+    if (baseline_gc <= 0) {
+      std::fprintf(stderr, "no \"baseline_durable_events_per_sec\" in %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    const double gc_floor = baseline_gc * (1.0 - max_regression_pct / 100.0);
+    std::printf("  baseline gc       %.0f events/s, floor %.0f (-%g%%)\n", baseline_gc,
+                gc_floor, max_regression_pct);
+    if (best_gc < gc_floor) {
+      std::fprintf(stderr, "FAIL: group-commit ingest %.0f events/s below floor %.0f\n",
+                   best_gc, gc_floor);
+      return 1;
+    }
+    // Hardware-aware parallel-query gate, BENCH_parallel.json-style:
+    // on a single hardware thread a pool cannot beat the serial cursor,
+    // so only parity is enforced there.
+    const double target_speedup = read_json_number(text, "query_target_speedup");
+    const double per_core = read_json_number(text, "query_min_speedup_per_core");
+    if (hw_threads >= 2 && target_speedup > 0 && per_core > 0) {
+      const double need = std::min(
+          target_speedup, per_core * static_cast<double>(std::min<std::size_t>(
+                                         pool_threads, hw_threads)));
+      std::printf("  speedup gate      need %.2fx on %u cores, got %.2fx\n", need, hw_threads,
+                  speedup);
+      if (speedup < need) {
+        std::fprintf(stderr, "FAIL: parallel-query speedup %.2fx below %.2fx\n", speedup,
+                     need);
+        return 1;
+      }
+    } else {
+      std::printf("  speedup gate      skipped (%u hardware thread%s)\n", hw_threads,
+                  hw_threads == 1 ? "" : "s");
     }
     std::printf("  gate              PASS\n");
   }

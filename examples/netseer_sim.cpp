@@ -16,6 +16,7 @@
 #include "experiment.h"
 #include "packet/builder.h"
 #include "scenarios/harness.h"
+#include "store/subscription.h"
 #include "telemetry/collect.h"
 #include "traffic/generator.h"
 
@@ -32,6 +33,8 @@ struct Args {
   std::uint64_t seed = 7;
   std::string store_dir;
   std::string store_query;
+  std::uint64_t store_query_threads = 1;
+  bool store_tail = false;
 };
 
 const traffic::EmpiricalCdf* workload_by_name(const std::string& name) {
@@ -60,6 +63,10 @@ int main(int argc, char** argv) {
             "persist backend events (WAL + segments) under this directory")
       .flag("store-query", &args.store_query,
             "run a store query after the run, e.g. type=drop,switch=3,from=0,to=5000000")
+      .flag("store-query-threads", &args.store_query_threads,
+            "scatter-gather the --store-query over this many threads")
+      .flag("store-tail", &args.store_tail,
+            "after the run, stream the stored events back through a subscription")
       .parse(argc, argv);
 
   const auto* workload = workload_by_name(args.workload);
@@ -225,7 +232,11 @@ int main(int argc, char** argv) {
               100 * scenarios::Harness::coverage(detected, actual), actual.size());
 
   if (store_query) {
-    const auto& store = harness.store();
+    auto& store = harness.store();
+    if (args.store_query_threads > 1) {
+      store.set_query_threads(static_cast<std::size_t>(
+          std::min<std::uint64_t>(args.store_query_threads, 64)));
+    }
     const auto scanned_before = store.stats().segments_scanned;
     const auto pruned_before = store.stats().segments_pruned;
     const auto matches = store.query(*store_query);
@@ -242,6 +253,21 @@ int main(int argc, char** argv) {
                                                 scanned_before),
                 static_cast<unsigned long long>(store.stats().segments_pruned -
                                                 pruned_before));
+  }
+  if (args.store_tail) {
+    // Subscription demo: replay everything the durable watermark covers,
+    // exactly once in LSN order — the same API an online tailer polls as
+    // ingest publishes the watermark.
+    auto sub = harness.store().subscribe();
+    std::size_t tail_rows = 0;
+    while (sub.poll([&](const backend::StoredEvent&, std::uint64_t) { ++tail_rows; },
+                    4096) > 0) {
+    }
+    std::printf("\nstore tail: %zu rows replayed, %llu lagged, cursor at LSN %llu "
+                "(watermark %llu)\n",
+                tail_rows, static_cast<unsigned long long>(sub.lagged()),
+                static_cast<unsigned long long>(sub.cursor_lsn()),
+                static_cast<unsigned long long>(harness.store().durable_watermark()));
   }
   if (!args.store_dir.empty()) {
     harness.store().checkpoint();

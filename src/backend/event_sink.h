@@ -1,5 +1,8 @@
 #pragma once
 
+#include <cstdint>
+#include <span>
+
 #include "core/event.h"
 #include "util/time.h"
 
@@ -8,10 +11,36 @@ namespace netseer::backend {
 /// Where the collector puts the events it accepts. Implemented by the
 /// in-memory EventStore and by store::FlowEventStore, so the reliable
 /// report path is independent of which storage engine backs it.
+///
+/// The interface is batch-first: collectors receive whole report
+/// batches off the wire, and handing the batch down in one call lets a
+/// durable backend amortize WAL framing and group-commit fsyncs across
+/// it. `add` remains as a one-element convenience wrapper.
+///
+/// Durability is asynchronous: `add_batch` returning does NOT mean the
+/// events survived a crash. `durable_watermark()` reports the highest
+/// sequence number the sink guarantees is recoverable; callers that
+/// need an acknowledgement wait for the watermark to pass the sequence
+/// assigned to their batch (store::FlowEventStore::sync() does exactly
+/// that). Purely in-memory sinks report everything they hold.
 class EventSink {
  public:
   virtual ~EventSink() = default;
-  virtual void add(const core::FlowEvent& event, util::SimTime now) = 0;
+
+  /// Accept a batch of events observed at `now`. Events are applied in
+  /// span order; ordering across calls follows call order.
+  virtual void add_batch(std::span<const core::FlowEvent> events, util::SimTime now) = 0;
+
+  /// One-element convenience wrapper over add_batch.
+  virtual void add(const core::FlowEvent& event, util::SimTime now) {
+    add_batch({&event, 1}, now);
+  }
+
+  /// Highest sequence number guaranteed recoverable after a crash.
+  /// In-memory sinks return the count of applied events (nothing
+  /// survives a crash, but nothing is ever silently dropped either);
+  /// durable sinks return the group-commit durable-LSN watermark.
+  [[nodiscard]] virtual std::uint64_t durable_watermark() const { return 0; }
 };
 
 }  // namespace netseer::backend

@@ -22,12 +22,42 @@ struct StoredEvent {
 /// Query by any combination of flow, event type, device, and period —
 /// the operator interface in Fig. 2 ("Flow-1 E? -> E1 & E4",
 /// "Device-1? -> E1~E4 & flows").
+///
+/// Doubles as a fluent builder so call sites compose filters inline:
+///   store.scan(EventQuery{}.for_switch(3).between(t0, t1))
+/// Aggregate form (designated initializers) keeps working unchanged.
 struct EventQuery {
   std::optional<packet::FlowKey> flow;
   std::optional<core::EventType> type;
   std::optional<util::NodeId> switch_id;
   std::optional<util::SimTime> from;  // inclusive, on detected_at
   std::optional<util::SimTime> to;    // exclusive
+
+  EventQuery& for_flow(const packet::FlowKey& key) {
+    flow = key;
+    return *this;
+  }
+  EventQuery& of_type(core::EventType event_type) {
+    type = event_type;
+    return *this;
+  }
+  EventQuery& for_switch(util::NodeId node) {
+    switch_id = node;
+    return *this;
+  }
+  EventQuery& since(util::SimTime inclusive_from) {
+    from = inclusive_from;
+    return *this;
+  }
+  EventQuery& until(util::SimTime exclusive_to) {
+    to = exclusive_to;
+    return *this;
+  }
+  EventQuery& between(util::SimTime inclusive_from, util::SimTime exclusive_to) {
+    from = inclusive_from;
+    to = exclusive_to;
+    return *this;
+  }
 
   [[nodiscard]] bool matches(const StoredEvent& stored) const {
     const auto& ev = stored.event;
@@ -48,12 +78,18 @@ struct EventQuery {
 /// parity tests compare it against.
 class EventStore : public EventSink {
  public:
-  void add(const core::FlowEvent& event, util::SimTime now) override {
-    const std::size_t idx = events_.size();
-    events_.push_back(StoredEvent{event, now});
-    by_flow_[event.flow.hash64()].push_back(idx);
-    by_switch_[event.switch_id].push_back(idx);
+  void add_batch(std::span<const core::FlowEvent> events, util::SimTime now) override {
+    for (const auto& event : events) {
+      const std::size_t idx = events_.size();
+      events_.push_back(StoredEvent{event, now});
+      by_flow_[event.flow.hash64()].push_back(idx);
+      by_switch_[event.switch_id].push_back(idx);
+    }
   }
+
+  /// Everything applied to the in-memory oracle is as durable as it
+  /// will ever get, so the watermark is simply the applied count.
+  [[nodiscard]] std::uint64_t durable_watermark() const override { return events_.size(); }
 
   [[nodiscard]] std::vector<StoredEvent> query(const EventQuery& query) const {
     std::vector<StoredEvent> out;

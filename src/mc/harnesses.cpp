@@ -137,6 +137,105 @@ Result spsc_seeded_relaxed(const Options& options) {
 }
 
 // ---------------------------------------------------------------------------
+// Group-commit writer / subscription miniatures
+// ---------------------------------------------------------------------------
+
+/// Miniature of store::GroupCommitWriter's acknowledgement protocol: the
+/// ingest thread hands LSN'd batches through the REAL sim::SpscRing, the
+/// writer thread drains whatever accumulated into a WAL image (plain
+/// cells, race-instrumented) and publishes the durable watermark once
+/// per drain round — the group "fsync". The ingest thread then syncs to
+/// the last LSN and reads every row the watermark covers.
+///
+/// With `release_watermark` the publish is a release store, and every
+/// schedule must leave those reads race-free, complete, and in LSN
+/// order. With it relaxed (the seeded bug) nothing orders the writer's
+/// WAL append before the syncing reader — the checker must catch the
+/// data race on a WAL cell.
+Result group_commit_run(const Options& options, bool release_watermark) {
+  return explore(options, [&] {
+    constexpr int kBatches = 2;  // 3 explodes the schedule count, covers nothing new
+    sim::SpscRing<int> ring(2);
+    std::array<int, kBatches + 1> wal{};
+    Atomic<int> watermark{0};
+    Thread writer = spawn([&] {
+      int appended = 0;
+      while (appended < kBatches) {
+        await([&] { return !ring.empty(); });
+        int lsn = 0;
+        int last = 0;
+        while (ring.try_pop(lsn)) {  // one commit group per drain round
+          NETSEER_MC_WRITE(&wal[lsn], "group_commit::wal[lsn]");
+          wal[lsn] = lsn * 10;
+          last = lsn;
+          ++appended;
+        }
+        watermark.store(last, release_watermark ? std::memory_order_release
+                                                : std::memory_order_relaxed);
+      }
+    });
+    Thread ingest = spawn([&] {
+      for (int lsn = 1; lsn <= kBatches; ++lsn) {
+        await([&] { return !ring.full(); });
+        int value = lsn;
+        MC_ASSERT(ring.try_push(value));
+      }
+      // sync_to(kBatches): the watermark is the only acknowledgement.
+      await([&] { return watermark.load(std::memory_order_acquire) >= kBatches; });
+      for (int lsn = 1; lsn <= kBatches; ++lsn) {
+        NETSEER_MC_READ(&wal[lsn], "group_commit::wal[lsn]");
+        MC_ASSERT(wal[lsn] == lsn * 10);  // acked rows are readable, in order
+      }
+    });
+    writer.join();
+    ingest.join();
+    MC_ASSERT(ring.empty());
+  });
+}
+
+/// Miniature of store::Subscription tailing the durable watermark: the
+/// store thread appends rows and release-publishes the watermark in two
+/// commit groups; the subscriber polls, delivering every row with
+/// cursor < LSN <= watermark. Every schedule must deliver each row
+/// exactly once, in LSN order, with the row contents visible (the
+/// acquire load of the watermark is the only synchronization).
+Result subscription_tail(const Options& options) {
+  return explore(options, [] {
+    constexpr int kRows = 3;
+    std::array<int, kRows + 1> rows{};
+    Atomic<int> watermark{0};
+    Thread store = spawn([&] {
+      for (int lsn = 1; lsn <= kRows; ++lsn) {
+        NETSEER_MC_WRITE(&rows[lsn], "subscription::rows[lsn]");
+        rows[lsn] = lsn * 10;
+        // Two groups: rows 1-2 commit together, row 3 alone.
+        if (lsn == 2 || lsn == kRows) watermark.store(lsn, std::memory_order_release);
+      }
+    });
+    Thread subscriber = spawn([&] {
+      int cursor = 0;
+      std::array<bool, kRows + 1> seen{};
+      while (cursor < kRows) {
+        const int durable = watermark.load(std::memory_order_acquire);
+        while (cursor < durable) {
+          ++cursor;
+          NETSEER_MC_READ(&rows[cursor], "subscription::rows[lsn]");
+          MC_ASSERT(rows[cursor] == cursor * 10);
+          MC_ASSERT(!seen[cursor]);  // exactly once
+          seen[cursor] = true;
+        }
+        if (cursor < kRows) {
+          await([&] { return watermark.load(std::memory_order_acquire) > cursor; });
+        }
+      }
+      for (int lsn = 1; lsn <= kRows; ++lsn) MC_ASSERT(seen[lsn]);
+    });
+    store.join();
+    subscriber.join();
+  });
+}
+
+// ---------------------------------------------------------------------------
 // packet::Pool remote-release harness
 // ---------------------------------------------------------------------------
 
@@ -403,6 +502,21 @@ const std::vector<Harness>& all_harnesses() {
     all.push_back(Harness{"spsc_seeded_relaxed",
                           "seeded bug: relaxed tail publish must be caught as a slot data race",
                           /*expect_failure=*/true, Options{}, spsc_seeded_relaxed});
+    all.push_back(Harness{
+        "group_commit_watermark",
+        "group-commit ack protocol: release-published durable watermark makes synced "
+        "WAL rows readable in every schedule",
+        /*expect_failure=*/false, Options{},
+        [](const Options& o) { return group_commit_run(o, /*release_watermark=*/true); }});
+    all.push_back(Harness{
+        "group_commit_seeded_relaxed",
+        "seeded bug: a relaxed watermark publish must be caught as a WAL-cell data race",
+        /*expect_failure=*/true, Options{},
+        [](const Options& o) { return group_commit_run(o, /*release_watermark=*/false); }});
+    all.push_back(Harness{"subscription_tail",
+                          "subscription tailing the watermark: exactly-once, in-order, "
+                          "race-free delivery in every schedule",
+                          /*expect_failure=*/false, Options{}, subscription_tail});
     all.push_back(Harness{"pool_remote_release",
                           "packet::Pool cross-thread release vs owner acquire/drain",
                           /*expect_failure=*/false, Options{}, pool_remote_release});

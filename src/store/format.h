@@ -82,15 +82,23 @@ template <typename T>
   return static_cast<T>(accum);
 }
 
+/// Encode one stored event into the canonical 44-byte row at `out`
+/// (which must have kRowBytes of space). The in-place form lets bulk
+/// writers (WAL records, segment bodies) encode straight into one
+/// contiguous buffer instead of copying per-row arrays around.
+inline void encode_row_to(std::byte* out, const backend::StoredEvent& stored) {
+  const auto wire = stored.event.serialize();
+  std::copy(wire.begin(), wire.end(), out);
+  put_le<std::uint32_t>(out + 24, stored.event.switch_id);
+  put_le<std::int64_t>(out + 28, stored.event.detected_at);
+  put_le<std::int64_t>(out + 36, stored.stored_at);
+}
+
 /// Encode one stored event into the canonical 44-byte row.
 [[nodiscard]] inline std::array<std::byte, kRowBytes> encode_row(
     const backend::StoredEvent& stored) {
   std::array<std::byte, kRowBytes> row{};
-  const auto wire = stored.event.serialize();
-  std::copy(wire.begin(), wire.end(), row.begin());
-  put_le<std::uint32_t>(row.data() + 24, stored.event.switch_id);
-  put_le<std::int64_t>(row.data() + 28, stored.event.detected_at);
-  put_le<std::int64_t>(row.data() + 36, stored.stored_at);
+  encode_row_to(row.data(), stored);
   return row;
 }
 

@@ -56,16 +56,27 @@ Segment Segment::build(std::vector<Row> rows, std::uint32_t file_id) {
   seg.max_lsn_ = seg.rows_.back().lsn;
   seg.min_time_ = seg.rows_.front().stored.event.detected_at;
   seg.max_time_ = seg.min_time_;
+  // Fences and type counts stay eager (one cheap pass, needed for
+  // pruning); the flow/switch maps build lazily on first index lookup
+  // so sealing costs no hashing on the ingest path.
   for (std::uint32_t i = 0; i < seg.rows_.size(); ++i) {
     const auto& event = seg.rows_[i].stored.event;
     seg.min_time_ = std::min(seg.min_time_, event.detected_at);
     seg.max_time_ = std::max(seg.max_time_, event.detected_at);
-    seg.by_flow_[event.flow.hash64()].push_back(i);
-    seg.by_switch_[event.switch_id].push_back(i);
     const auto raw = static_cast<std::size_t>(event.type);
     if (raw < seg.type_counts_.size()) ++seg.type_counts_[raw];
   }
   return seg;
+}
+
+void Segment::ensure_indexed() const {
+  if (indexed_) return;
+  for (std::uint32_t i = 0; i < rows_.size(); ++i) {
+    const auto& event = rows_[i].stored.event;
+    by_flow_[event.flow.hash64()].push_back(i);
+    by_switch_[event.switch_id].push_back(i);
+  }
+  indexed_ = true;
 }
 
 bool Segment::save(const std::string& path) const {

@@ -37,11 +37,18 @@ class Segment {
   void set_file_id(std::uint32_t id) { file_id_ = id; }
 
   /// Index lookups; nullptr when the key has no rows in this segment.
+  /// The flow/switch maps are built lazily on the first lookup — sealing
+  /// stays off the ingest hot path and segments that only ever serve
+  /// time-windowed scans never pay for them. NOT thread-safe: the query
+  /// planner resolves indexes serially before any parallel segment scan
+  /// fans out (workers only read rows()).
   [[nodiscard]] const std::vector<std::uint32_t>* flow_rows(std::uint64_t flow_hash) const {
+    ensure_indexed();
     const auto it = by_flow_.find(flow_hash);
     return it == by_flow_.end() ? nullptr : &it->second;
   }
   [[nodiscard]] const std::vector<std::uint32_t>* switch_rows(util::NodeId node) const {
+    ensure_indexed();
     const auto it = by_switch_.find(node);
     return it == by_switch_.end() ? nullptr : &it->second;
   }
@@ -72,6 +79,8 @@ class Segment {
  private:
   Segment() = default;
 
+  void ensure_indexed() const;
+
   std::vector<Row> rows_;
   std::uint64_t min_lsn_ = 0;
   std::uint64_t max_lsn_ = 0;
@@ -79,8 +88,10 @@ class Segment {
   util::SimTime max_time_ = 0;
   std::uint32_t file_id_ = 0;
 
-  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> by_flow_;
-  std::unordered_map<util::NodeId, std::vector<std::uint32_t>> by_switch_;
+  // Lazily built by ensure_indexed() under the serial-planner contract.
+  mutable bool indexed_ = false;
+  mutable std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> by_flow_;
+  mutable std::unordered_map<util::NodeId, std::vector<std::uint32_t>> by_switch_;
   std::array<std::uint32_t, 8> type_counts_{};
 };
 

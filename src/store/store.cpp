@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <unordered_set>
 
 #include "packet/addr.h"
+#include "store/executor.h"
+#include "store/subscription.h"
+#include "store/writer.h"
 
 namespace netseer::store {
 
@@ -14,7 +19,7 @@ namespace fs = std::filesystem;
 // ---- QueryCursor ---------------------------------------------------------
 
 QueryCursor::QueryCursor(const FlowEventStore& event_store, const backend::EventQuery& query)
-    : store_(&event_store), query_(query) {
+    : store_(&event_store), query_(query), generation_(event_store.generation_) {
   StoreStats& stats = store_->stats_;
   ++stats.queries;
 
@@ -50,6 +55,50 @@ QueryCursor::QueryCursor(const FlowEventStore& event_store, const backend::Event
     segments_.push_back(plan);
   }
 
+  // Scatter-gather: with a pool and more than one surviving segment,
+  // pre-filter every segment's rows in parallel. Gather order is the
+  // plan (= LSN) order, so parallel and serial cursors emit
+  // identically; per-task stat tallies merge after the barrier because
+  // StoreStats is not atomic.
+  if (store_->pool_ != nullptr && segments_.size() > 1) {
+    parallel_ = true;
+    matches_.resize(segments_.size());
+    struct Tally {
+      std::uint64_t examined = 0;
+      std::uint64_t matched = 0;
+    };
+    std::vector<Tally> tallies(segments_.size());
+    store_->pool_->run(segments_.size(), [&](std::size_t i) {
+      const SegmentPlan& plan = segments_[i];
+      const auto& rows = plan.segment->rows();
+      std::vector<std::uint32_t>& out = matches_[i];
+      Tally& tally = tallies[i];
+      if (plan.candidates != nullptr) {
+        for (const std::uint32_t row : *plan.candidates) {
+          ++tally.examined;
+          if (query_.matches(rows[row].stored)) {
+            out.push_back(row);
+            ++tally.matched;
+          }
+        }
+      } else {
+        for (std::uint32_t row = 0; row < rows.size(); ++row) {
+          ++tally.examined;
+          if (query_.matches(rows[row].stored)) {
+            out.push_back(row);
+            ++tally.matched;
+          }
+        }
+      }
+    });
+    for (const Tally& tally : tallies) {
+      stats.rows_examined += tally.examined;
+      stats.rows_matched += tally.matched;
+    }
+    ++stats.parallel_queries;
+    stats.parallel_tasks += segments_.size();
+  }
+
   // Rows not yet sealed: the memtable (already in LSN order), then the
   // shard buffers in global append order. Shard iteration order is a
   // hash-map artifact, so sort by the append sequence for determinism.
@@ -70,7 +119,18 @@ QueryCursor::QueryCursor(const FlowEventStore& event_store, const backend::Event
   }
 }
 
+void QueryCursor::check_generation() const {
+  if (store_->generation_ == generation_) return;
+  std::fprintf(stderr,
+               "QueryCursor used after store mutation (generation %llu -> %llu): "
+               "cursors do not survive append/flush/seal/compaction\n",
+               static_cast<unsigned long long>(generation_),
+               static_cast<unsigned long long>(store_->generation_));
+  std::abort();
+}
+
 const backend::StoredEvent* QueryCursor::next() {
+  check_generation();
   StoreStats& stats = store_->stats_;
   while (!in_tail_) {
     if (segment_idx_ >= segments_.size()) {
@@ -78,6 +138,17 @@ const backend::StoredEvent* QueryCursor::next() {
       break;
     }
     const SegmentPlan& plan = segments_[segment_idx_];
+    if (parallel_) {
+      // Rows were pre-filtered (and counted) at construction: walk the
+      // match lists straight through, in plan order.
+      const std::vector<std::uint32_t>& matches = matches_[segment_idx_];
+      if (row_idx_ >= matches.size()) {
+        ++segment_idx_;
+        row_idx_ = 0;
+        continue;
+      }
+      return &plan.segment->rows()[matches[row_idx_++]].stored;
+    }
     const std::size_t limit =
         plan.candidates != nullptr ? plan.candidates->size() : plan.segment->rows().size();
     if (row_idx_ >= limit) {
@@ -112,54 +183,76 @@ FlowEventStore::FlowEventStore(StoreOptions options) : options_(std::move(option
   if (options_.shard_batch == 0) options_.shard_batch = 1;
   if (options_.segment_events == 0) options_.segment_events = 1;
   if (options_.compact_fanin < 2) options_.compact_fanin = 2;
+  if (options_.writer_queue == 0) options_.writer_queue = 1;
   if (durable()) {
     util::MutexLock lock(maint_mu_);
     recover_from_dir();
+  }
+  if (options_.query_threads > 1) {
+    pool_ = std::make_unique<QueryPool>(options_.query_threads);
   }
 }
 
 FlowEventStore::~FlowEventStore() {
   // Clean shutdown makes everything appended durable; a crash between
-  // the last sync and here is what the WAL is for.
+  // the last sync and here is what the WAL is for. writer_ is declared
+  // after wal_, so its thread joins before the WAL closes.
   if (durable() && !wal_dead()) {
     flush();
-    if (wal_) wal_->sync();
-    durable_lsn_ = std::max(durable_lsn_, next_lsn_ - 1);
+    if (writer_ && writer_->sync_to(next_lsn_ - 1)) {
+      durable_lsn_ = std::max(durable_lsn_, next_lsn_ - 1);
+    }
   }
 }
 
-void FlowEventStore::add(const core::FlowEvent& event, util::SimTime now) {
-  Shard& shard = shards_[event.switch_id];
-  shard.rows.push_back(Pending{backend::StoredEvent{event, now}, append_seq_++});
-  ++stats_.appended;
-  if (shard.rows.size() >= options_.shard_batch) flush_shard(shard);
+void FlowEventStore::add_batch(std::span<const core::FlowEvent> events, util::SimTime now) {
+  if (events.empty()) return;
+  ++generation_;
+  for (const core::FlowEvent& event : events) {
+    Shard& shard = shards_[event.switch_id];
+    shard.rows.push_back(Pending{backend::StoredEvent{event, now}, append_seq_++});
+    if (shard.rows.size() >= options_.shard_batch) flush_shard(shard);
+  }
+  stats_.appended += events.size();
 }
 
 void FlowEventStore::flush_shard(Shard& shard) {
   if (shard.rows.empty()) return;
-  std::vector<Row> batch;
-  batch.reserve(shard.rows.size());
-  for (const Pending& pending : shard.rows) {
-    batch.push_back(Row{pending.stored, next_lsn_++});
+  ++generation_;
+  const std::size_t n = shard.rows.size();
+
+  // Rows go straight into the memtable; a copy rides a recycled vector
+  // to the writer thread, which keeps the WAL framing (one record per
+  // shard batch, consecutive LSNs) byte-identical to the old inline
+  // path while the fsync happens off the ingest thread.
+  memtable_.reserve(std::max(memtable_.size() + n, options_.segment_events));
+  if (writer_) {
+    std::vector<Row> batch = writer_->take_buffer();
+    batch.reserve(n);
+    for (const Pending& pending : shard.rows) {
+      batch.push_back(Row{pending.stored, next_lsn_++});
+    }
+    // Bulk-copy into the memtable (Row is trivially copyable, so this
+    // is one memmove) rather than pushing each row twice.
+    memtable_.insert(memtable_.end(), batch.begin(), batch.end());
+    writer_->submit(std::move(batch));
+  } else {
+    for (const Pending& pending : shard.rows) {
+      memtable_.push_back(Row{pending.stored, next_lsn_++});
+    }
   }
+  const std::uint64_t last_lsn = next_lsn_ - 1;
   shard.rows.clear();
   ++stats_.batches_flushed;
 
-  if (wal_ && !wal_->dead()) {
-    if (wal_->append(batch)) {
-      ++stats_.wal_records;
-      if (options_.sync_every_batch && wal_->sync()) {
-        ++stats_.wal_syncs;
-        durable_lsn_ = std::max(durable_lsn_, batch.back().lsn);
-      }
-    } else {
-      ++stats_.wal_append_failures;
-    }
-    stats_.wal_bytes = wal_->bytes_written();
+  if (!durable()) {
+    // No WAL: flushed rows are as durable as an in-memory store gets,
+    // which is what lets subscriptions tail them.
+    durable_lsn_ = std::max(durable_lsn_, last_lsn);
+  } else if (options_.sync_every_batch && writer_ && writer_->sync_to(last_lsn)) {
+    durable_lsn_ = std::max(durable_lsn_, last_lsn);
   }
 
-  memtable_.insert(memtable_.end(), std::make_move_iterator(batch.begin()),
-                   std::make_move_iterator(batch.end()));
   if (memtable_.size() >= options_.segment_events) seal_active();
 }
 
@@ -173,6 +266,9 @@ void FlowEventStore::flush() {
   }
   std::sort(ids.begin(), ids.end());
   for (const util::NodeId node : ids) flush_shard(shards_[node]);
+  // Everything handed off is appended (not necessarily fsynced) on
+  // return, preserving flush()'s pre-async contract.
+  if (writer_) writer_->drain();
 }
 
 bool FlowEventStore::sync() {
@@ -181,27 +277,29 @@ bool FlowEventStore::sync() {
     durable_lsn_ = next_lsn_ - 1;
     return true;
   }
-  if (!wal_ || wal_->dead() || !wal_->sync()) return false;
-  ++stats_.wal_syncs;
+  if (!wal_ || !writer_ || wal_->dead()) return false;
+  if (!writer_->sync_to(next_lsn_ - 1)) return false;
   durable_lsn_ = std::max(durable_lsn_, next_lsn_ - 1);
   return true;
 }
 
+std::uint64_t FlowEventStore::durable_lsn() const {
+  std::uint64_t lsn = durable_lsn_;
+  if (writer_) lsn = std::max(lsn, writer_->watermark());
+  return lsn;
+}
+
 void FlowEventStore::seal_active() {
   if (memtable_.empty()) return;
+  ++generation_;
   util::MutexLock lock(maint_mu_);
   auto segment = std::make_unique<Segment>(Segment::build(std::move(memtable_)));
   memtable_.clear();
-  if (durable()) {
-    const std::uint32_t file_id = next_segment_file_++;
-    if (segment->save(segment_path(options_.dir, file_id))) {
-      segment->set_file_id(file_id);
-      durable_lsn_ = std::max(durable_lsn_, segment->max_lsn());
-    }
-  }
+  // Segment-file creation is deferred to persist_segments_locked()
+  // (maintenance/checkpoint), keeping the seal on the ingest path a
+  // pure in-memory operation; the WAL covers the rows until then.
   segments_.push_back(std::move(segment));
   ++stats_.segments_sealed;
-  wal_gc_locked();
 }
 
 std::uint64_t FlowEventStore::sealed_durable_watermark_locked() const {
@@ -216,7 +314,25 @@ std::uint64_t FlowEventStore::sealed_durable_watermark_locked() const {
 }
 
 void FlowEventStore::wal_gc_locked() {
-  if (wal_) stats_.wal_files_deleted += wal_->remove_obsolete(sealed_durable_watermark_locked());
+  if (wal_) wal_->remove_obsolete(sealed_durable_watermark_locked());
+}
+
+std::size_t FlowEventStore::persist_segments_locked() {
+  if (!durable()) return 0;
+  std::size_t persisted = 0;
+  // Durable segments always form a prefix of segments_ (seal appends,
+  // retention evicts from the front, compaction only merges durable
+  // inputs), so saving front-to-back and stopping at the first failure
+  // keeps the durable-LSN range contiguous.
+  for (const auto& segment : segments_) {
+    if (segment->file_id() != 0) continue;
+    const std::uint32_t file_id = next_segment_file_++;
+    if (!segment->save(segment_path(options_.dir, file_id))) break;
+    segment->set_file_id(file_id);
+    durable_lsn_ = std::max(durable_lsn_, segment->max_lsn());
+    ++persisted;
+  }
+  return persisted;
 }
 
 std::size_t FlowEventStore::compact() {
@@ -229,18 +345,25 @@ std::size_t FlowEventStore::compact_locked() {
   while (segments_.size() > options_.compact_min_segments) {
     const std::size_t fanin = std::min(options_.compact_fanin, segments_.size());
     if (fanin < 2) break;
+    bool inputs_durable = true;
+    for (std::size_t i = 0; i < fanin; ++i) {
+      inputs_durable = inputs_durable && segments_[i]->file_id() != 0;
+    }
+    // Segment persistence is deferred to maintenance: on a durable
+    // store, never merge a memory-only segment — wait for
+    // persist_segments_locked() to catch up, so the output's
+    // save-then-delete-inputs sequence stays crash-safe.
+    if (durable() && !inputs_durable) break;
     std::vector<Row> merged;
     std::size_t total = 0;
     for (std::size_t i = 0; i < fanin; ++i) total += segments_[i]->size();
     merged.reserve(total);
-    bool inputs_durable = true;
     for (std::size_t i = 0; i < fanin; ++i) {
       const auto& seg_rows = segments_[i]->rows();
       merged.insert(merged.end(), seg_rows.begin(), seg_rows.end());
-      inputs_durable = inputs_durable && segments_[i]->file_id() != 0;
     }
     auto segment = std::make_unique<Segment>(Segment::build(std::move(merged)));
-    if (durable() && inputs_durable) {
+    if (durable()) {
       const std::uint32_t file_id = next_segment_file_++;
       if (!segment->save(segment_path(options_.dir, file_id))) break;  // keep the originals
       segment->set_file_id(file_id);
@@ -251,6 +374,7 @@ std::size_t FlowEventStore::compact_locked() {
     }
     segments_.erase(segments_.begin(), segments_.begin() + static_cast<std::ptrdiff_t>(fanin));
     segments_.insert(segments_.begin(), std::move(segment));
+    ++generation_;
     ++merges;
     ++stats_.compactions;
     stats_.segments_compacted += fanin;
@@ -279,6 +403,7 @@ std::size_t FlowEventStore::enforce_retention_locked() {
       fs::remove(segment_path(options_.dir, victim->file_id()), ec);
     }
     segments_.erase(segments_.begin());
+    ++generation_;
     ++evicted;
   }
   return evicted;
@@ -287,6 +412,7 @@ std::size_t FlowEventStore::enforce_retention_locked() {
 void FlowEventStore::maintain() {
   // One acquisition for the whole round (the mutex is non-recursive).
   util::MutexLock lock(maint_mu_);
+  persist_segments_locked();
   compact_locked();
   enforce_retention_locked();
   wal_gc_locked();
@@ -295,8 +421,9 @@ void FlowEventStore::maintain() {
 void FlowEventStore::checkpoint() {
   flush();
   seal_active();
-  if (wal_ && !wal_->dead() && wal_->sync()) ++stats_.wal_syncs;
+  sync();
   util::MutexLock lock(maint_mu_);
+  persist_segments_locked();
   compact_locked();
   enforce_retention_locked();
   wal_gc_locked();
@@ -304,7 +431,7 @@ void FlowEventStore::checkpoint() {
   if (!legacy_wal_files_.empty() && watermark >= legacy_wal_max_lsn_) {
     for (const auto& path : legacy_wal_files_) {
       std::error_code ec;
-      if (fs::remove(path, ec) && !ec) ++stats_.wal_files_deleted;
+      if (fs::remove(path, ec) && !ec) ++legacy_wal_deleted_;
     }
     legacy_wal_files_.clear();
   }
@@ -395,10 +522,42 @@ void FlowEventStore::recover_from_dir() {
   wal_options.dir = options_.dir;
   wal_options.segment_bytes = options_.wal_segment_bytes;
   wal_ = std::make_unique<WalWriter>(wal_options, replay.last_file_index + 1);
+  // Rows replayed out of the WAL are on disk already: seed the group
+  // commit watermark at the recovered LSN so they count as durable.
+  writer_ = std::make_unique<GroupCommitWriter>(*wal_, options_.sync_every_batch, durable_lsn_,
+                                                options_.writer_queue);
 }
 
 QueryCursor FlowEventStore::scan(const backend::EventQuery& event_query) const {
   return QueryCursor(*this, event_query);
+}
+
+Subscription FlowEventStore::subscribe(backend::EventQuery event_query,
+                                       std::uint64_t from_lsn) const {
+  return Subscription(*this, std::move(event_query), from_lsn);
+}
+
+void FlowEventStore::set_query_threads(std::size_t threads) {
+  options_.query_threads = threads;
+  pool_.reset();
+  if (threads > 1) pool_ = std::make_unique<QueryPool>(threads);
+}
+
+const StoreStats& FlowEventStore::stats() const {
+  if (wal_) {
+    stats_.wal_records = wal_->records_written();
+    stats_.wal_bytes = wal_->bytes_written();
+    stats_.wal_syncs = wal_->syncs();
+    stats_.wal_files_deleted = wal_->files_deleted() + legacy_wal_deleted_;
+  }
+  if (writer_) {
+    stats_.groups_committed = writer_->groups_committed();
+    stats_.group_batches = writer_->batches_appended();
+    stats_.max_group_batches = writer_->max_group_batches();
+    stats_.writer_queue_waits = writer_->queue_full_waits();
+    stats_.wal_append_failures = writer_->append_failures();
+  }
+  return stats_;
 }
 
 std::vector<backend::StoredEvent> FlowEventStore::query(

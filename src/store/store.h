@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <iterator>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -15,6 +17,10 @@
 #include "util/thread_annotations.h"
 
 namespace netseer::store {
+
+class GroupCommitWriter;
+class QueryPool;
+class Subscription;
 
 /// Tuning and placement knobs for FlowEventStore. An empty `dir` runs
 /// the store fully in memory (same sharding/sealing/compaction
@@ -43,8 +49,17 @@ struct StoreOptions {
   std::uint64_t wal_segment_bytes = 1ull << 20u;
 
   /// Make every flushed batch an fsync point (slower, smallest possible
-  /// loss window). Off by default: sync() and seals are the ack points.
+  /// loss window). With the group-commit writer this means the ingest
+  /// thread blocks on the durable watermark after every batch.
   bool sync_every_batch = false;
+
+  /// Scatter-gather parallelism for scan(): segment scans fan out over
+  /// this many threads (including the caller). 1 = serial (default).
+  std::size_t query_threads = 1;
+
+  /// Group-commit handoff depth, in shard batches. A full ring blocks
+  /// ingest (bounded memory) until the writer thread drains.
+  std::size_t writer_queue = 64;
 };
 
 /// Everything the store counts, exported via telemetry::collect. The
@@ -62,6 +77,12 @@ struct StoreStats {
   std::uint64_t wal_files_deleted = 0;
   std::uint64_t wal_append_failures = 0;
 
+  // Group commit (the async writer thread).
+  std::uint64_t groups_committed = 0;    // fsync rounds that advanced the watermark
+  std::uint64_t group_batches = 0;       // shard batches through the writer
+  std::uint64_t max_group_batches = 0;   // largest single commit group
+  std::uint64_t writer_queue_waits = 0;  // times ingest blocked on a full handoff ring
+
   // Storage lifecycle.
   std::uint64_t segments_sealed = 0;
   std::uint64_t compactions = 0;
@@ -77,6 +98,13 @@ struct StoreStats {
   std::uint64_t full_segment_scans = 0;
   std::uint64_t rows_examined = 0;
   std::uint64_t rows_matched = 0;
+  std::uint64_t parallel_queries = 0;  // cursors that fanned out on the pool
+  std::uint64_t parallel_tasks = 0;    // segment scans dispatched to it
+
+  // Subscriptions.
+  std::uint64_t subscription_polls = 0;
+  std::uint64_t subscription_rows = 0;         // rows delivered to subscribers
+  std::uint64_t subscription_lagged_rows = 0;  // evicted before delivery
 };
 
 /// What opening a store directory found and replayed.
@@ -102,12 +130,50 @@ class FlowEventStore;
 /// (LSN order for flushed rows, then append order for rows still in
 /// shard buffers). The plan — which segments were pruned by time fence
 /// or type count, which use an index — is fixed at construction; rows
-/// are filtered lazily as next() advances. Valid until the store is
-/// mutated (append/flush/maintain), like an iterator.
+/// are filtered lazily as next() advances (or eagerly, in parallel,
+/// when the store has a query pool — the merge is by segment LSN order
+/// either way, so both paths emit identically).
+///
+/// A cursor is valid only until the store is mutated (append, flush,
+/// seal, compaction, retention): it snapshots the store's generation
+/// counter and any use afterwards aborts with a diagnostic instead of
+/// reading freed rows.
+///
+/// Range-for compatible: `for (const auto& stored : store.scan(q))`.
 class QueryCursor {
  public:
   /// The next matching event, or nullptr when exhausted.
   [[nodiscard]] const backend::StoredEvent* next();
+
+  /// Single-pass input iterator over next(). end() is a sentinel.
+  class iterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = backend::StoredEvent;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const backend::StoredEvent*;
+    using reference = const backend::StoredEvent&;
+
+    reference operator*() const { return *current_; }
+    pointer operator->() const { return current_; }
+    iterator& operator++() {
+      current_ = cursor_->next();
+      return *this;
+    }
+    [[nodiscard]] bool operator==(std::default_sentinel_t /*end*/) const {
+      return current_ == nullptr;
+    }
+
+   private:
+    friend class QueryCursor;
+    iterator(QueryCursor* cursor, const backend::StoredEvent* current)
+        : cursor_(cursor), current_(current) {}
+    QueryCursor* cursor_ = nullptr;
+    const backend::StoredEvent* current_ = nullptr;
+  };
+
+  [[nodiscard]] iterator begin() { return iterator(this, next()); }
+  [[nodiscard]] std::default_sentinel_t end() const { return {}; }
 
  private:
   friend class FlowEventStore;
@@ -118,9 +184,16 @@ class QueryCursor {
 
   QueryCursor(const FlowEventStore& store, const backend::EventQuery& query);
 
+  /// Abort (with a diagnostic) if the store mutated under this cursor.
+  void check_generation() const;
+
   const FlowEventStore* store_ = nullptr;
   backend::EventQuery query_;
+  std::uint64_t generation_ = 0;
   std::vector<SegmentPlan> segments_;
+  // Parallel path: per-plan pre-filtered row indexes (scatter output).
+  bool parallel_ = false;
+  std::vector<std::vector<std::uint32_t>> matches_;
   // Memtable rows then pending shard rows, in emission order.
   std::vector<const backend::StoredEvent*> tail_;
   std::size_t segment_idx_ = 0;
@@ -144,18 +217,23 @@ class FlowEventStore final : public backend::EventSink {
   FlowEventStore& operator=(const FlowEventStore&) = delete;
 
   // ---- Ingest ----------------------------------------------------------
-  /// Append through the per-switch shard buffer (EventSink entry point).
-  void add(const core::FlowEvent& event, util::SimTime now) override;
+  /// Append a batch through the per-switch shard buffers (the primary
+  /// EventSink entry point; add() is the inherited one-element wrapper).
+  void add_batch(std::span<const core::FlowEvent> events, util::SimTime now) override;
 
-  /// Flush every shard buffer into the WAL + memtable.
+  /// Flush every shard buffer into the memtable and hand the rows to
+  /// the group-commit writer (appended, not necessarily fsynced).
   void flush();
 
-  /// flush() plus a WAL sync: everything appended so far is acknowledged
-  /// durable on return (in-memory stores trivially return true).
+  /// flush() plus a blocking wait on the durable watermark: everything
+  /// appended so far is acknowledged durable on return (in-memory
+  /// stores trivially return true). False once the WAL is dead.
   bool sync();
 
-  /// Highest LSN known durable (synced WAL or sealed durable segment).
-  [[nodiscard]] std::uint64_t durable_lsn() const { return durable_lsn_; }
+  /// Highest LSN known durable: the group-commit watermark, sealed
+  /// durable segments, or explicit syncs — whichever is furthest.
+  [[nodiscard]] std::uint64_t durable_lsn() const;
+  [[nodiscard]] std::uint64_t durable_watermark() const override { return durable_lsn(); }
 
   // ---- Lifecycle -------------------------------------------------------
   // The maintenance entry points serialize on maint_mu_ (annotated,
@@ -185,8 +263,26 @@ class FlowEventStore final : public backend::EventSink {
   /// event queue alive).
   sim::TaskHandle start_maintenance(sim::Simulator& sim, util::SimDuration interval);
 
-  // ---- Query (interface-compatible with backend::EventStore) -----------
+  // ---- Query -----------------------------------------------------------
+  /// The unified query surface: build an EventQuery (aggregate or
+  /// fluent), scan() it, iterate the cursor. When options.query_threads
+  /// > 1 the cursor scatter-gathers segment scans over the pool.
   [[nodiscard]] QueryCursor scan(const backend::EventQuery& query) const;
+
+  /// Tail the durable watermark: a pull-model subscription delivering
+  /// every matching row exactly once in LSN order, across flush, seal
+  /// and compaction boundaries. `from_lsn` = deliver rows with LSN >
+  /// from_lsn (0 replays everything still retained). The subscription
+  /// must not outlive the store; a subscriber that stops polling never
+  /// blocks ingest (rows it missed past retention count as lag).
+  [[nodiscard]] Subscription subscribe(backend::EventQuery query = {},
+                                       std::uint64_t from_lsn = 0) const;
+
+  /// Resize the scatter-gather pool (e.g. tools/benches after open).
+  void set_query_threads(std::size_t threads);
+
+  // Thin wrappers over scan(), kept so pre-cursor call sites compile;
+  // prefer scan() in new code.
   [[nodiscard]] std::vector<backend::StoredEvent> query(const backend::EventQuery& query) const;
   [[nodiscard]] std::size_t count(const backend::EventQuery& query) const;
   [[nodiscard]] std::size_t size() const;
@@ -196,7 +292,10 @@ class FlowEventStore final : public backend::EventSink {
   [[nodiscard]] std::uint64_t total_counter(const backend::EventQuery& query) const;
 
   // ---- Introspection ---------------------------------------------------
-  [[nodiscard]] const StoreStats& stats() const { return stats_; }
+  /// Refreshes the WAL/group-commit counters from the writer side.
+  [[nodiscard]] const StoreStats& stats() const;
+  /// Bumped by every mutation; open cursors assert it stayed put.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
   [[nodiscard]] const RecoveryInfo& recovery() const { return recovery_; }
   [[nodiscard]] const StoreOptions& options() const { return options_; }
   [[nodiscard]] std::size_t segment_count() const { return segments_.size(); }
@@ -213,6 +312,7 @@ class FlowEventStore final : public backend::EventSink {
 
  private:
   friend class QueryCursor;
+  friend class Subscription;
 
   struct Pending {
     backend::StoredEvent stored;
@@ -224,6 +324,12 @@ class FlowEventStore final : public backend::EventSink {
 
   void flush_shard(Shard& shard);
   void recover_from_dir() NETSEER_REQUIRES(maint_mu_);
+  /// Save memory-only sealed segments to disk (full fsync discipline);
+  /// returns segments persisted. Called from maintain()/checkpoint() so
+  /// segment-file creation stays off the seal (ingest) path. Segments
+  /// on disk are therefore always fully durable, which is what keeps
+  /// recovery and the WAL-GC contiguity walk unchanged.
+  std::size_t persist_segments_locked() NETSEER_REQUIRES(maint_mu_);
 
   // The _locked split of the maintenance entry points: the public
   // methods take maint_mu_ and delegate here, and composite rounds
@@ -239,6 +345,9 @@ class FlowEventStore final : public backend::EventSink {
 
   StoreOptions options_;
   std::unique_ptr<WalWriter> wal_;
+  /// Declared after wal_ so it is destroyed (thread joined) first.
+  std::unique_ptr<GroupCommitWriter> writer_;
+  std::unique_ptr<QueryPool> pool_;
   RecoveryInfo recovery_;
   mutable StoreStats stats_;  // query counters tick under const
 
@@ -246,6 +355,8 @@ class FlowEventStore final : public backend::EventSink {
   std::uint64_t append_seq_ = 0;  // orders rows not yet assigned an LSN
   std::uint64_t next_lsn_ = 1;
   std::uint64_t durable_lsn_ = 0;
+  std::uint64_t generation_ = 0;  // mutation counter for cursor validity
+  std::uint64_t legacy_wal_deleted_ = 0;  // checkpoint-deleted legacy files
 
   std::vector<Row> memtable_;
   std::vector<std::unique_ptr<Segment>> segments_;  // oldest first (LSN order)

@@ -1,0 +1,63 @@
+#include "store/subscription.h"
+
+#include <algorithm>
+
+namespace netseer::store {
+
+std::size_t Subscription::poll(
+    const std::function<void(const backend::StoredEvent&, std::uint64_t)>& fn,
+    std::size_t max_rows) {
+  StoreStats& stats = store_->stats_;
+  ++stats.subscription_polls;
+  const std::uint64_t watermark = store_->durable_lsn();
+  if (cursor_ >= watermark || max_rows == 0) return 0;
+
+  // The store retains one contiguous LSN range [oldest, next_lsn_):
+  // segments are evicted oldest-first and compaction merges adjacent
+  // runs, so whatever is gone is a prefix. Rows in that prefix were
+  // dropped by retention policy before this subscriber got to them —
+  // count them as lag and jump the cursor past the hole.
+  std::uint64_t oldest = store_->next_lsn_;
+  if (!store_->segments_.empty()) {
+    oldest = store_->segments_.front()->min_lsn();
+  } else if (!store_->memtable_.empty()) {
+    oldest = store_->memtable_.front().lsn;
+  }
+  if (oldest > cursor_ + 1) {
+    const std::uint64_t skipped = std::min(oldest - 1, watermark) - cursor_;
+    lagged_ += skipped;
+    stats.subscription_lagged_rows += skipped;
+    cursor_ += skipped;
+  }
+
+  std::size_t delivered = 0;
+  // Rows within a segment (and the memtable) are LSN-consecutive, so
+  // the resume point is a direct index, not a search.
+  const auto deliver_run = [&](const std::vector<Row>& rows) {
+    if (rows.empty() || delivered >= max_rows) return;
+    const std::uint64_t first = rows.front().lsn;
+    if (rows.back().lsn <= cursor_) return;
+    std::size_t i = cursor_ + 1 > first ? static_cast<std::size_t>(cursor_ + 1 - first) : 0;
+    for (; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      if (row.lsn > watermark || delivered >= max_rows) break;
+      cursor_ = row.lsn;
+      if (query_.matches(row.stored)) {
+        fn(row.stored, row.lsn);
+        ++delivered;
+      }
+    }
+  };
+
+  for (const auto& segment : store_->segments_) {
+    if (segment->min_lsn() > watermark || delivered >= max_rows) break;
+    deliver_run(segment->rows());
+  }
+  deliver_run(store_->memtable_);
+
+  delivered_ += delivered;
+  stats.subscription_rows += delivered;
+  return delivered;
+}
+
+}  // namespace netseer::store

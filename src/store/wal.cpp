@@ -216,6 +216,10 @@ bool WalWriter::open_next_file() {
     dead_ = true;
     return false;
   }
+  // A large stdio buffer batches record writes into few write(2) calls;
+  // durability still comes only from sync() (fflush + fsync).
+  if (iobuf_.empty()) iobuf_.resize(256 * 1024);
+  std::setvbuf(file_, iobuf_.data(), _IOFBF, iobuf_.size());
   info.open = true;
   files_.push_back(info);
   ++files_opened_;
@@ -263,16 +267,19 @@ bool WalWriter::append_record(std::span<const Row> rows) {
   put_le<std::uint16_t>(header.data() + 6, 0);
   put_le<std::uint64_t>(header.data() + 8, rows.front().lsn);
 
-  std::vector<std::byte> payload;
-  payload.reserve(rows.size() * kRowBytes);
+  // Encode straight into the reusable scratch buffer: the payload is
+  // rebuilt thousands of times a second on the group-commit thread, so
+  // per-record allocation and per-row array copies both matter.
+  payload_.resize(rows.size() * kRowBytes);
+  std::byte* cursor = payload_.data();
   for (const Row& row : rows) {
-    const auto encoded = encode_row(row.stored);
-    payload.insert(payload.end(), encoded.begin(), encoded.end());
+    encode_row_to(cursor, row.stored);
+    cursor += kRowBytes;
   }
-  put_le<std::uint32_t>(header.data() + 16, record_crc(header, payload));
+  put_le<std::uint32_t>(header.data() + 16, record_crc(header, payload_));
 
   if (!write_raw(header.data(), header.size())) return false;
-  if (!write_raw(payload.data(), payload.size())) return false;
+  if (!write_raw(payload_.data(), payload_.size())) return false;
   ++records_written_;
   if (!files_.empty()) files_.back().max_lsn = rows.back().lsn;
   return true;

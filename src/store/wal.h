@@ -159,6 +159,10 @@ class WalWriter {
   mutable util::Mutex mu_;
 
   std::FILE* file_ NETSEER_GUARDED_BY(mu_) = nullptr;
+  /// Reusable scratch: record payload encode target and the stdio
+  /// buffer handed to setvbuf (must outlive the FILE it backs).
+  std::vector<std::byte> payload_ NETSEER_GUARDED_BY(mu_);
+  std::vector<char> iobuf_ NETSEER_GUARDED_BY(mu_);
   std::uint32_t next_index_ NETSEER_GUARDED_BY(mu_) = 1;
   std::uint64_t current_bytes_ NETSEER_GUARDED_BY(mu_) = 0;
   // dirent of the current file fsynced?

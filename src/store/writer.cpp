@@ -1,0 +1,138 @@
+#include "store/writer.h"
+
+#include <algorithm>
+
+namespace netseer::store {
+
+GroupCommitWriter::GroupCommitWriter(WalWriter& wal, bool sync_every_batch,
+                                     std::uint64_t initial_watermark, std::size_t queue_depth)
+    : wal_(wal),
+      sync_every_batch_(sync_every_batch),
+      ring_(queue_depth),
+      recycle_(queue_depth),
+      watermark_(initial_watermark),
+      appended_lsn_(initial_watermark),
+      thread_([this] { run(); }) {}
+
+GroupCommitWriter::~GroupCommitWriter() {
+  {
+    util::CondMutexLock lock(mu_);
+    stop_ = true;
+    work_cv_.notify_one();
+  }
+  thread_.join();
+}
+
+void GroupCommitWriter::submit(std::vector<Row> batch) {
+  if (batch.empty()) return;
+  while (!ring_.try_push(batch)) {
+    queue_full_waits_.fetch_add(1, std::memory_order_relaxed);
+    util::CondMutexLock lock(mu_);
+    work_cv_.notify_one();  // make sure the writer is draining
+    while (ring_.full()) state_cv_.wait(lock);
+  }
+  submitted_batches_.fetch_add(1, std::memory_order_relaxed);
+  util::CondMutexLock lock(mu_);
+  work_cv_.notify_one();
+}
+
+std::vector<Row> GroupCommitWriter::take_buffer() {
+  std::vector<Row> buffer;
+  (void)recycle_.try_pop(buffer);
+  buffer.clear();
+  return buffer;
+}
+
+void GroupCommitWriter::drain() {
+  // Everything this (the only) producer submitted, counted by itself.
+  const std::uint64_t goal = submitted_batches_.load(std::memory_order_relaxed);
+  if (appended_batches_.load(std::memory_order_acquire) >= goal) return;
+  util::CondMutexLock lock(mu_);
+  work_cv_.notify_one();
+  while (appended_batches_.load(std::memory_order_acquire) < goal) state_cv_.wait(lock);
+}
+
+bool GroupCommitWriter::sync_to(std::uint64_t lsn) {
+  if (watermark_.load(std::memory_order_acquire) >= lsn) return true;
+  util::CondMutexLock lock(mu_);
+  // Publish the goal under the mutex so the writer either sees it in
+  // its sleep predicate or gets the notify.
+  std::uint64_t goal = sync_goal_.load(std::memory_order_relaxed);
+  while (goal < lsn &&
+         !sync_goal_.compare_exchange_weak(goal, lsn, std::memory_order_release)) {
+  }
+  work_cv_.notify_one();
+  while (watermark_.load(std::memory_order_acquire) < lsn) {
+    if (wal_.dead()) return false;
+    state_cv_.wait(lock);
+  }
+  return true;
+}
+
+std::size_t GroupCommitWriter::drain_available() {
+  std::size_t drained = 0;
+  std::vector<Row> batch;
+  while (ring_.try_pop(batch)) {
+    ++drained;
+    if (!batch.empty()) {
+      const std::uint64_t last_lsn = batch.back().lsn;
+      if (!wal_.dead() && wal_.append(batch)) {
+        appended_lsn_ = last_lsn;
+      } else {
+        append_failures_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    batch.clear();
+    (void)recycle_.try_push(batch);  // full recycle ring: just drop it
+    appended_batches_.fetch_add(1, std::memory_order_release);
+    if (sync_every_batch_) commit_group(1);
+  }
+  return drained;
+}
+
+bool GroupCommitWriter::commit_group(std::size_t group_batches) {
+  bool ok = true;
+  if (appended_lsn_ > watermark_.load(std::memory_order_relaxed)) {
+    ok = !wal_.dead() && wal_.sync();
+    if (ok) {
+      watermark_.store(appended_lsn_, std::memory_order_release);
+      groups_committed_.fetch_add(1, std::memory_order_relaxed);
+      std::uint64_t seen = max_group_batches_.load(std::memory_order_relaxed);
+      while (seen < group_batches && !max_group_batches_.compare_exchange_weak(
+                                         seen, group_batches, std::memory_order_relaxed)) {
+      }
+    }
+  } else {
+    ok = !wal_.dead();
+  }
+  if (!ok) {
+    // A dead WAL can never meet an outstanding durability goal: abandon
+    // it so the loop can sleep instead of spinning. sync_to waiters are
+    // notified at the end of the round and observe dead() themselves.
+    sync_goal_.store(watermark_.load(std::memory_order_relaxed), std::memory_order_release);
+  }
+  return ok;
+}
+
+void GroupCommitWriter::run() {
+  for (;;) {
+    bool stopping = false;
+    {
+      util::CondMutexLock lock(mu_);
+      while (ring_.empty() && !stop_ && !sync_pending()) work_cv_.wait(lock);
+      stopping = stop_;
+    }
+    // Drain outside the mutex: the ring keeps filling while we append,
+    // and whatever accumulates during the fsync below becomes the next
+    // commit group — that is the whole amortization.
+    const std::size_t drained = drain_available();
+    if ((drained > 0 && !sync_every_batch_) || sync_pending()) commit_group(drained);
+    {
+      util::CondMutexLock lock(mu_);
+      state_cv_.notify_all();
+    }
+    if (stopping && ring_.empty()) return;
+  }
+}
+
+}  // namespace netseer::store

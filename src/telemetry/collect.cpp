@@ -187,6 +187,13 @@ void collect(Registry& registry, const store::FlowEventStore& flow_store) {
   registry.counter(kStore, "wal.syncs").add(s.wal_syncs);
   registry.counter(kStore, "wal.files_deleted").add(s.wal_files_deleted);
   registry.counter(kStore, "wal.append_failures").add(s.wal_append_failures);
+  registry.counter(kStore, "group_commit.groups").add(s.groups_committed);
+  registry.counter(kStore, "group_commit.batches").add(s.group_batches);
+  registry.gauge(kStore, "group_commit.max_group_batches")
+      .update_max(static_cast<std::int64_t>(s.max_group_batches));
+  registry.counter(kStore, "group_commit.queue_waits").add(s.writer_queue_waits);
+  registry.gauge(kStore, "durable_lsn")
+      .update_max(static_cast<std::int64_t>(flow_store.durable_lsn()));
   registry.counter(kStore, "segments_sealed").add(s.segments_sealed);
   registry.counter(kStore, "compactions").add(s.compactions);
   registry.counter(kStore, "segments_compacted").add(s.segments_compacted);
@@ -199,6 +206,11 @@ void collect(Registry& registry, const store::FlowEventStore& flow_store) {
   registry.counter(kStore, "query.full_segment_scans").add(s.full_segment_scans);
   registry.counter(kStore, "query.rows_examined").add(s.rows_examined);
   registry.counter(kStore, "query.rows_matched").add(s.rows_matched);
+  registry.counter(kStore, "query.parallel_queries").add(s.parallel_queries);
+  registry.counter(kStore, "query.parallel_tasks").add(s.parallel_tasks);
+  registry.counter(kStore, "subscription.polls").add(s.subscription_polls);
+  registry.counter(kStore, "subscription.rows").add(s.subscription_rows);
+  registry.counter(kStore, "subscription.lagged_rows").add(s.subscription_lagged_rows);
   registry.gauge(kStore, "store.events")
       .update_max(static_cast<std::int64_t>(flow_store.size()));
   registry.gauge(kStore, "store.segments")

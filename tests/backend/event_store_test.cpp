@@ -99,5 +99,50 @@ TEST_F(EventStoreTest, CountMatchesQuery) {
   EXPECT_EQ(store.count(query), 1u);
 }
 
+// The batch-first sink contract: add_batch applies in span order after
+// everything already added, add() is literally a one-element batch, and
+// the in-memory watermark is simply the applied count.
+TEST_F(EventStoreTest, AddBatchAppliesInOrderAndIndexes) {
+  const FlowEvent batch[] = {
+      ev(EventType::kDrop, 9, 40, util::seconds(5)),
+      ev(EventType::kCongestion, 9, 40, util::seconds(6)),
+      ev(EventType::kDrop, 10, 41, util::seconds(7)),
+  };
+  store.add_batch({batch, 3}, util::seconds(8));
+  EXPECT_EQ(store.size(), 7u);
+  const auto& rows = store.all();
+  EXPECT_EQ(rows[4].event, batch[0]);
+  EXPECT_EQ(rows[5].event, batch[1]);
+  EXPECT_EQ(rows[6].event, batch[2]);
+  // The batch went through the secondary indexes too.
+  EventQuery by_flow;
+  by_flow.flow = flow(9);
+  EXPECT_EQ(store.count(by_flow), 2u);
+  EventQuery by_switch;
+  by_switch.switch_id = 41;
+  EXPECT_EQ(store.count(by_switch), 1u);
+  // Every row in a batch shares the batch's arrival stamp.
+  EXPECT_EQ(rows[4].stored_at, util::seconds(8));
+  EXPECT_EQ(rows[6].stored_at, util::seconds(8));
+}
+
+TEST_F(EventStoreTest, DurableWatermarkTracksAppliedCount) {
+  EXPECT_EQ(store.durable_watermark(), 4u);
+  const FlowEvent batch[] = {
+      ev(EventType::kDrop, 11, 50, util::seconds(9)),
+      ev(EventType::kPause, 12, 50, util::seconds(10)),
+  };
+  store.add_batch({batch, 2}, util::seconds(10));
+  EXPECT_EQ(store.durable_watermark(), 6u);
+  store.add(ev(EventType::kDrop, 13, 51, util::seconds(11)), util::seconds(11));
+  EXPECT_EQ(store.durable_watermark(), 7u);
+}
+
+TEST_F(EventStoreTest, EmptyBatchIsANoOp) {
+  store.add_batch({}, util::seconds(12));
+  EXPECT_EQ(store.size(), 4u);
+  EXPECT_EQ(store.durable_watermark(), 4u);
+}
+
 }  // namespace
 }  // namespace netseer::backend

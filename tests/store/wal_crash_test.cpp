@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -203,6 +204,91 @@ TEST(WalCrashProperty, SecondCrashStillKeepsItsOwnFsyncPoint) {
   // No row recovered the first time may vanish, and nothing cycle 2
   // acknowledged before its own tear may be lost either.
   EXPECT_GE(recovered.size(), baseline + acked);
+  fs::remove_all(dir);
+}
+
+// Group-commit sweep: ingest through the batch-first API with
+// watermark-only acks — no inline fsync at all, sync() only every few
+// chunks — and tear the WAL at offsets across the whole log, so tears
+// land inside open fsync groups spanning several shard batches. The
+// recovery invariants are the same as the inline sweep's: recovered
+// rows are exactly a prefix of the control stream, and nothing inside
+// the watermark observed at the last successful sync() may be lost.
+TEST(WalCrashProperty, GroupCommitTearsKeepEveryWatermarkedRow) {
+  const auto dir = (fs::temp_directory_path() / "netseer_wal_crash_gc_test").string();
+  constexpr std::size_t kChunk = 32;
+
+  const auto run_batched = [&](FlowEventStore& store, std::uint64_t* acked) {
+    std::vector<core::FlowEvent> chunk;
+    std::uint64_t synced = 0;
+    for (std::uint64_t i = 0; i < kEvents; ++i) {
+      chunk.push_back(workload_event(i));
+      if (chunk.size() == kChunk) {
+        store.add_batch(std::span<const core::FlowEvent>{chunk.data(), chunk.size()},
+                        chunk.back().detected_at + 3);
+        chunk.clear();
+        if (++synced % 4 == 0 && store.sync()) *acked = store.durable_watermark();
+      }
+    }
+    if (!chunk.empty()) {
+      store.add_batch(std::span<const core::FlowEvent>{chunk.data(), chunk.size()},
+                      chunk.back().detected_at + 3);
+    }
+    store.flush();
+  };
+
+  // Control: identical batched stream fully in memory — its all() order
+  // is the canonical LSN order for every crashed run below.
+  StoreOptions mem = small_options("");
+  mem.dir.clear();
+  FlowEventStore control(mem);
+  std::uint64_t ignored = 0;
+  run_batched(control, &ignored);
+  const auto reference = control.all();
+  ASSERT_EQ(reference.size(), kEvents);
+
+  fs::remove_all(dir);
+  std::uint64_t total_wal_bytes = 0;
+  {
+    FlowEventStore clean(small_options(dir));
+    std::uint64_t acked = 0;
+    run_batched(clean, &acked);
+    ASSERT_TRUE(clean.sync());
+    total_wal_bytes = clean.stats().wal_bytes;
+  }
+  fs::remove_all(dir);
+  ASSERT_GT(total_wal_bytes, 0u);
+
+  std::vector<std::uint64_t> budgets{0, 3, 8, 15, 20, 27};
+  for (int i = 1; i <= 16; ++i) {
+    budgets.push_back(total_wal_bytes * static_cast<std::uint64_t>(i) / 17);
+  }
+  budgets.push_back(total_wal_bytes + 1000);  // no tear: clean shutdown path
+
+  for (const std::uint64_t budget : budgets) {
+    SCOPED_TRACE("wal byte budget " + std::to_string(budget));
+    fs::remove_all(dir);
+    std::uint64_t acked = 0;
+    {
+      FlowEventStore store(small_options(dir));
+      store.crash_after_wal_bytes(budget);
+      run_batched(store, &acked);
+      EXPECT_EQ(store.size(), kEvents);  // in-memory view survives the dead WAL
+    }
+
+    FlowEventStore recovered(small_options(dir));
+    EXPECT_TRUE(recovered.recovery().ran);
+    const auto rows = recovered.all();
+
+    // Durability of the watermark: every row sync() acknowledged exists.
+    EXPECT_GE(rows.size(), acked);
+    // Prefix property: no holes, duplicates, reordering, or torn rows.
+    ASSERT_LE(rows.size(), reference.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      ASSERT_EQ(rows[i].event, reference[i].event) << "row " << i;
+      ASSERT_EQ(rows[i].stored_at, reference[i].stored_at) << "row " << i;
+    }
+  }
   fs::remove_all(dir);
 }
 

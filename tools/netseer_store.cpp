@@ -3,20 +3,29 @@
 //   netseer_store inspect <dir>            list segments, WAL files, fences
 //   netseer_store recover <dir>            replay the WAL, seal, checkpoint
 //   netseer_store compact <dir>            force compaction + checkpoint
-//   netseer_store query <dir> <spec>       run a query (see --help for spec)
+//   netseer_store query <dir> <spec> [th]  run a query (see --help for spec),
+//                                          scatter-gathered over th threads
+//   netseer_store tail <dir> [from-lsn]    subscription demo: stream every
+//                                          durable row after from-lsn
 //   netseer_store gen <dir> [n] [torn]     synthesize a store; optional torn
-//                                          WAL tail after `torn` bytes
+//                     [group]              WAL tail after `torn` bytes; `group`
+//                                          ingests through async group commit
+//                                          (tear lands mid-group)
 //
 // `recover` is what an operator (or the CI recovery job) runs over a
 // directory left behind by a crash: it replays the log to the last valid
 // record, reports what was recovered and whether the tail was torn, and
 // rewrites the directory into a clean checkpointed state.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/event.h"
 #include "store/store.h"
+#include "store/subscription.h"
 
 using namespace netseer;
 
@@ -24,13 +33,15 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <inspect|recover|compact|query|gen> <dir> [args]\n"
+               "usage: %s <inspect|recover|compact|query|tail|gen> <dir> [args]\n"
                "  inspect <dir>\n"
                "  recover <dir>\n"
                "  compact <dir>\n"
-               "  query <dir> <spec>   spec: type=drop,switch=3,from=0,to=1000000,\n"
+               "  query <dir> <spec> [threads]\n"
+               "                       spec: type=drop,switch=3,from=0,to=1000000,\n"
                "                       flow=10.0.0.1:1234>10.0.0.2:80/6\n"
-               "  gen <dir> [events] [torn-after-bytes]\n",
+               "  tail <dir> [from-lsn]\n"
+               "  gen <dir> [events] [torn-after-bytes] [group]\n",
                argv0);
   return 2;
 }
@@ -102,21 +113,63 @@ int cmd_query(store::FlowEventStore& fs, const std::string& spec) {
   return 0;
 }
 
+/// Stream every durable row after `from_lsn` through the subscription
+/// API. On an offline directory one poll drains to the watermark; the
+/// printout shows the exactly-once LSN cursor an online tailer would
+/// resume from.
+int cmd_tail(store::FlowEventStore& fs, std::uint64_t from_lsn) {
+  auto sub = fs.subscribe(backend::EventQuery{}, from_lsn);
+  std::size_t shown = 0;
+  while (sub.poll(
+             [&](const backend::StoredEvent& stored, std::uint64_t lsn) {
+               if (shown < 50) {
+                 const auto& ev = stored.event;
+                 std::printf("lsn=%-10llu t=%-14lld sw=%-6u %-12s %s x%u\n",
+                             static_cast<unsigned long long>(lsn),
+                             static_cast<long long>(ev.detected_at), ev.switch_id,
+                             core::to_string(ev.type), ev.flow.to_string().c_str(), ev.counter);
+               }
+               ++shown;
+             },
+             4096) > 0) {
+  }
+  if (shown > 50) std::printf("... and %zu more\n", shown - 50);
+  std::printf("%llu row(s) delivered, %llu lagged (evicted), cursor at LSN %llu "
+              "(durable watermark %llu)\n",
+              static_cast<unsigned long long>(sub.delivered()),
+              static_cast<unsigned long long>(sub.lagged()),
+              static_cast<unsigned long long>(sub.cursor_lsn()),
+              static_cast<unsigned long long>(fs.durable_watermark()));
+  return 0;
+}
+
 /// Synthesize a deterministic store for fixtures and demos. With a torn
 /// byte budget, the WAL is cut off mid-record partway through ingest and
 /// the directory is left WITHOUT a clean shutdown — exactly the on-disk
-/// state an ingest crash leaves behind.
-int cmd_gen(const std::string& dir, std::uint64_t events, long long torn_after) {
+/// state an ingest crash leaves behind. `group_commit` routes ingest
+/// through add_batch with watermark-only acks, so the tear lands in the
+/// middle of an open fsync group (the writer_crash fixture shape).
+int cmd_gen(const std::string& dir, std::uint64_t events, long long torn_after,
+            bool group_commit) {
   store::StoreOptions options;
   options.dir = dir;
   options.shard_batch = 16;
+  options.sync_every_batch = !group_commit;
   // Torn mode keeps every row in the WAL (no sealing) so recovery has to
   // replay the log itself, not just reload sealed segments.
   options.segment_events = torn_after >= 0 ? events + 1 : 256;
   store::FlowEventStore fs(options);
   std::uint64_t state = 42;
+  std::vector<core::FlowEvent> batch;
+  const auto flush_batch = [&] {
+    if (batch.empty()) return;
+    fs.add_batch(std::span<const core::FlowEvent>{batch.data(), batch.size()},
+                 batch.back().detected_at + 50);
+    batch.clear();
+  };
   for (std::uint64_t i = 0; i < events; ++i) {
     if (torn_after >= 0 && i == events / 2) {
+      flush_batch();
       fs.flush();
       fs.crash_after_wal_bytes(static_cast<std::uint64_t>(torn_after));
     }
@@ -129,15 +182,22 @@ int cmd_gen(const std::string& dir, std::uint64_t events, long long torn_after) 
         r % 3 == 0 ? core::EventType::kCongestion : core::EventType::kDrop, flow,
         static_cast<util::NodeId>(1 + (r % 4)), static_cast<util::SimTime>(i * 1000));
     ev.counter = static_cast<std::uint16_t>(1 + (r % 100));
-    fs.add(ev, static_cast<util::SimTime>(i * 1000 + 50));
+    if (group_commit) {
+      batch.push_back(ev);
+      if (batch.size() == 64) flush_batch();
+    } else {
+      fs.add(ev, static_cast<util::SimTime>(i * 1000 + 50));
+    }
   }
+  flush_batch();
   if (torn_after >= 0) {
     // Crash path: flush through the dead WAL (tears the tail), then leak
     // nothing — the destructor skips the clean-shutdown sync on a dead
     // WAL, so the torn record stays on disk.
     fs.flush();
-    std::printf("generated %llu events into %s with a torn WAL tail\n",
-                static_cast<unsigned long long>(events), dir.c_str());
+    std::printf("generated %llu events into %s with a torn WAL tail%s\n",
+                static_cast<unsigned long long>(events), dir.c_str(),
+                group_commit ? " (torn mid-group-commit)" : "");
   } else {
     fs.checkpoint();
     std::printf("generated %llu events into %s (%zu segments)\n",
@@ -156,7 +216,8 @@ int main(int argc, char** argv) {
   if (cmd == "gen") {
     const std::uint64_t events = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 2000;
     const long long torn = argc > 4 ? std::strtoll(argv[4], nullptr, 10) : -1;
-    return cmd_gen(dir, events, torn);
+    const bool group = argc > 5 && std::strcmp(argv[5], "group") == 0;
+    return cmd_gen(dir, events, torn, group);
   }
 
   store::StoreOptions options;
@@ -185,7 +246,15 @@ int main(int argc, char** argv) {
   }
   if (cmd == "query") {
     if (argc < 4) return usage(argv[0]);
+    if (argc > 4) {
+      const auto threads = std::strtoull(argv[4], nullptr, 10);
+      fs.set_query_threads(std::max<std::size_t>(1, std::min<std::size_t>(threads, 64)));
+    }
     return cmd_query(fs, argv[3]);
+  }
+  if (cmd == "tail") {
+    const std::uint64_t from = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 0;
+    return cmd_tail(fs, from);
   }
   return usage(argv[0]);
 }
