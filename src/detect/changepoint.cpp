@@ -1,0 +1,46 @@
+#include "detect/detectors.h"
+
+namespace netseer::detect {
+
+CusumDetector::CusumDetector(double slack, double decision_h, std::uint32_t warmup)
+    : slack_(slack), decision_h_(decision_h), warmup_(warmup) {}
+
+DetectorResult CusumDetector::observe(double value, bool /*empty*/) {
+  DetectorResult result;
+  result.value = value;
+
+  if (seen_ < warmup_) {
+    ++seen_;
+    reference_ += (value - reference_) / static_cast<double>(seen_);
+    result.expected = reference_;
+    return result;
+  }
+  result.expected = reference_;
+
+  const double drift = value - reference_ - slack_;
+  g_ += drift;
+  if (g_ < 0) g_ = 0;
+
+  if (!firing_) {
+    if (g_ > decision_h_) firing_ = true;
+  } else if (g_ < decision_h_ / 2) {
+    // In-control windows have negative drift, so the statistic drains on
+    // its own once the shift ends; half the decision boundary is the
+    // hysteresis release point.
+    firing_ = false;
+    g_ = 0;
+  }
+
+  result.firing = firing_;
+  result.score = decision_h_ > 0 ? g_ / decision_h_ : 0.0;
+  return result;
+}
+
+void CusumDetector::reset() {
+  seen_ = 0;
+  reference_ = 0.0;
+  g_ = 0.0;
+  firing_ = false;
+}
+
+}  // namespace netseer::detect

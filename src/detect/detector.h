@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace netseer::detect {
+
+struct Rule;
+
+/// What a detector concluded about one closed window's feature value.
+/// `firing` follows the family's own hysteresis (a threshold detector
+/// stays firing until the value crosses its clear level, a CUSUM
+/// detector until its statistic drains), so the alert pipeline never
+/// re-implements per-family clear logic.
+struct DetectorResult {
+  bool firing = false;
+  double value = 0.0;     // the observed feature
+  double expected = 0.0;  // the family's current reference (threshold, mean, ...)
+  double score = 0.0;     // how far past the gate the family judged it (>= 0)
+};
+
+/// One anomaly-detection family, fed one closed window at a time. A
+/// detector instance is per (rule, window key): it owns whatever state
+/// the family needs (EWMA moments, CUSUM statistic) and nothing else,
+/// which is what lets the window layer recycle instances through a free
+/// list — a new family is one file implementing this interface plus a
+/// case in make_detector().
+///
+/// `empty` marks a window the key saw no rows in (value 0 by
+/// construction). Rate-like features treat it as a real zero sample;
+/// sample-statistic features (latency mean) must not learn from it.
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  /// Consume one closed window and report whether the key is anomalous.
+  virtual DetectorResult observe(double value, bool empty) = 0;
+
+  /// Forget everything — the instance is about to be reused for a
+  /// different key (idle-GC free list).
+  virtual void reset() = 0;
+
+  [[nodiscard]] virtual const char* family() const = 0;
+};
+
+/// Instantiate the family `rule` asks for, configured from the rule's
+/// knobs. Defined in rules.cpp next to the family registry.
+[[nodiscard]] std::unique_ptr<Detector> make_detector(const Rule& rule);
+
+}  // namespace netseer::detect

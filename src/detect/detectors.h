@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+
+#include "detect/detector.h"
+
+namespace netseer::detect {
+
+/// Static threshold with hysteresis: fires when the value reaches
+/// `trigger`, stays firing until it falls to `clear` (<= trigger) — the
+/// two-level gate that keeps a value oscillating around one line from
+/// flapping the alert. The simplest family, and the production baseline
+/// for hard SLO-style rules ("more than N dropped packets per window").
+class ThresholdDetector final : public Detector {
+ public:
+  ThresholdDetector(double trigger, double clear);
+
+  DetectorResult observe(double value, bool empty) override;
+  void reset() override;
+  [[nodiscard]] const char* family() const override { return "threshold"; }
+
+ private:
+  double trigger_;
+  double clear_;
+  bool firing_ = false;
+};
+
+/// EWMA residual: tracks an exponentially-weighted mean and variance of
+/// the feature and fires when a sample lands more than `k_sigma`
+/// standard deviations above the mean (one-sided — the features here
+/// are "badness rates" where only upward excursions matter). The first
+/// `warmup` samples only train the baseline and can never fire; while
+/// firing, the moments are frozen so the anomaly cannot teach the
+/// detector that anomalous is normal. `min_sigma` floors the deviation
+/// estimate so a perfectly flat warm-up does not make any nonzero
+/// residual infinite-sigma. Empty windows are real zero samples for
+/// rate features; for sample statistics (latency mean) the window layer
+/// flags them and the detector neither learns nor fires on them.
+class EwmaDetector final : public Detector {
+ public:
+  EwmaDetector(double alpha, double k_sigma, std::uint32_t warmup, double min_sigma,
+               bool skip_empty);
+
+  DetectorResult observe(double value, bool empty) override;
+  void reset() override;
+  [[nodiscard]] const char* family() const override { return "ewma"; }
+
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double sigma() const;
+  [[nodiscard]] bool warmed_up() const { return seen_ >= warmup_; }
+
+ private:
+  double alpha_;
+  double k_sigma_;
+  std::uint32_t warmup_;
+  double min_sigma_;
+  bool skip_empty_;
+
+  std::uint32_t seen_ = 0;
+  double mean_ = 0.0;
+  double var_ = 0.0;
+  bool firing_ = false;
+};
+
+/// Page–Hinkley / one-sided CUSUM change-point detector: accumulates
+/// g = max(0, g + (value - reference - slack)) and fires when g exceeds
+/// `decision_h`. The reference mean is learned from the first `warmup`
+/// samples; `slack` absorbs normal jitter so only a sustained upward
+/// mean shift drives g across the decision boundary. Detection delay is
+/// therefore ~decision_h / (shift - slack) windows — small shifts take
+/// proportionally longer, which the golden tests pin. While firing, the
+/// statistic drains by `slack` per in-control window and the detector
+/// clears once it falls below decision_h / 2 (hysteresis, same
+/// anti-flap contract as the threshold family).
+class CusumDetector final : public Detector {
+ public:
+  CusumDetector(double slack, double decision_h, std::uint32_t warmup);
+
+  DetectorResult observe(double value, bool empty) override;
+  void reset() override;
+  [[nodiscard]] const char* family() const override { return "cusum"; }
+
+  [[nodiscard]] double statistic() const { return g_; }
+  [[nodiscard]] double reference() const { return reference_; }
+
+ private:
+  double slack_;
+  double decision_h_;
+  std::uint32_t warmup_;
+
+  std::uint32_t seen_ = 0;
+  double reference_ = 0.0;
+  double g_ = 0.0;
+  bool firing_ = false;
+};
+
+}  // namespace netseer::detect

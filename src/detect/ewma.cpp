@@ -1,0 +1,70 @@
+#include "detect/detectors.h"
+
+#include <cmath>
+
+namespace netseer::detect {
+
+EwmaDetector::EwmaDetector(double alpha, double k_sigma, std::uint32_t warmup, double min_sigma,
+                           bool skip_empty)
+    : alpha_(alpha), k_sigma_(k_sigma), warmup_(warmup), min_sigma_(min_sigma),
+      skip_empty_(skip_empty) {}
+
+double EwmaDetector::sigma() const {
+  const double s = std::sqrt(var_ > 0 ? var_ : 0.0);
+  return s > min_sigma_ ? s : min_sigma_;
+}
+
+DetectorResult EwmaDetector::observe(double value, bool empty) {
+  DetectorResult result;
+  result.value = value;
+  result.expected = mean_;
+
+  if (empty && skip_empty_) {
+    // A window with no samples of a sample-statistic feature: nothing to
+    // learn, nothing to judge; an active firing state releases (the
+    // anomalous signal has stopped arriving).
+    firing_ = false;
+    result.firing = false;
+    return result;
+  }
+
+  if (seen_ < warmup_) {
+    // Warm-up: train only. Incremental mean/variance over the first
+    // `warmup` samples seeds the EWMA moments.
+    ++seen_;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(seen_);
+    var_ += (delta * (value - mean_) - var_) / static_cast<double>(seen_);
+    result.expected = mean_;
+    return result;
+  }
+
+  const double residual = value - mean_;
+  const double gate = k_sigma_ * sigma();
+  if (firing_) {
+    if (residual <= gate) firing_ = false;
+  } else if (residual > gate) {
+    firing_ = true;
+  }
+  result.firing = firing_;
+  result.score = gate > 0 ? residual / gate : 0.0;
+  if (result.score < 0) result.score = 0;
+
+  if (!firing_) {
+    // Learn from in-control samples only: a firing window must not drag
+    // the baseline toward the anomaly.
+    const double delta = value - mean_;
+    mean_ += alpha_ * delta;
+    var_ = (1 - alpha_) * (var_ + alpha_ * delta * delta);
+  }
+  return result;
+}
+
+void EwmaDetector::reset() {
+  seen_ = 0;
+  mean_ = 0.0;
+  var_ = 0.0;
+  firing_ = false;
+}
+
+}  // namespace netseer::detect

@@ -1,0 +1,25 @@
+#include "detect/detectors.h"
+
+namespace netseer::detect {
+
+ThresholdDetector::ThresholdDetector(double trigger, double clear)
+    : trigger_(trigger), clear_(clear < trigger ? clear : trigger) {}
+
+DetectorResult ThresholdDetector::observe(double value, bool /*empty*/) {
+  if (firing_) {
+    // Hysteresis: once firing, only a fall to the clear level releases.
+    if (value <= clear_) firing_ = false;
+  } else if (value >= trigger_) {
+    firing_ = true;
+  }
+  DetectorResult result;
+  result.firing = firing_;
+  result.value = value;
+  result.expected = trigger_;
+  result.score = firing_ && trigger_ > 0 ? value / trigger_ : 0.0;
+  return result;
+}
+
+void ThresholdDetector::reset() { firing_ = false; }
+
+}  // namespace netseer::detect

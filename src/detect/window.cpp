@@ -1,0 +1,124 @@
+#include "detect/window.h"
+
+namespace netseer::detect {
+
+WindowEngine::WindowEngine(const Rule& rule, const RuleSet& set)
+    : rule_(rule), window_(set.window), lateness_(set.lateness),
+      idle_gc_windows_(set.idle_gc_windows) {}
+
+util::SimTime WindowEngine::bucket(util::SimTime at) const {
+  auto q = at / window_;
+  if (at < 0 && at % window_ != 0) --q;
+  return q * window_;
+}
+
+double WindowEngine::feature_value(const KeyState& state) const {
+  switch (rule_.feature) {
+    case Feature::kPackets: return static_cast<double>(state.packets);
+    case Feature::kEvents: return static_cast<double>(state.rows);
+    case Feature::kLatencyMeanUs:
+      return state.rows == 0 ? 0.0 : state.latency_sum / static_cast<double>(state.rows);
+  }
+  return 0.0;
+}
+
+void WindowEngine::close_window(const WindowKey& key, KeyState& state, bool empty,
+                                const Sink& sink) {
+  WindowResult out;
+  out.rule = &rule_;
+  out.key = key;
+  out.sample = state.sample;
+  out.window_start = state.window_start;
+  out.empty = empty;
+  out.result = state.detector->observe(feature_value(state), empty);
+  if (empty) ++stats_.windows_empty;
+  else ++stats_.windows_closed;
+  if (sink) sink(out);
+}
+
+bool WindowEngine::roll_to(const WindowKey& key, KeyState& state, util::SimTime next_start,
+                           const Sink& sink) {
+  while (state.window_start < next_start) {
+    const bool empty = state.rows == 0;
+    close_window(key, state, empty, sink);
+    state.idle_windows = empty ? state.idle_windows + 1 : 0;
+    state.rows = 0;
+    state.packets = 0;
+    state.latency_sum = 0.0;
+    state.window_start += window_;
+    if (state.idle_windows > idle_gc_windows_) return false;
+  }
+  return true;
+}
+
+void WindowEngine::offer(const backend::StoredEvent& row, const Sink& sink) {
+  const core::FlowEvent& event = row.event;
+  if (event.type != rule_.type) return;
+
+  WindowKey key;
+  key.switch_id = event.switch_id;
+  switch (rule_.scope) {
+    case Scope::kDeviceFlow: key.group = event.flow_hash; break;
+    case Scope::kDevice: key.group = 0; break;
+    case Scope::kDeviceRule: key.group = event.acl_rule_id; break;
+  }
+  const util::SimTime start = bucket(event.detected_at);
+
+  auto it = keys_.find(key);
+  if (it == keys_.end()) {
+    KeyState state;
+    state.window_start = start;
+    if (!free_detectors_.empty()) {
+      state.detector = std::move(free_detectors_.back());
+      free_detectors_.pop_back();
+      state.detector->reset();
+    } else {
+      state.detector = make_detector(rule_);
+    }
+    ++stats_.keys_created;
+    it = keys_.emplace(key, std::move(state)).first;
+  } else {
+    KeyState& state = it->second;
+    if (start < state.window_start) {
+      // Behind a window this key already closed; the watermark contract
+      // was violated (or lateness is too tight). Count, don't crash.
+      ++stats_.late_rows;
+      return;
+    }
+    if (start > state.window_start && !roll_to(key, state, start, sink)) {
+      // The key went dark past the GC horizon and is now back: restart
+      // it with a fresh baseline rather than resuming stale state.
+      state.detector->reset();
+      state.window_start = start;
+      state.rows = 0;
+      state.packets = 0;
+      state.latency_sum = 0.0;
+      state.idle_windows = 0;
+      ++stats_.keys_recycled;
+    }
+  }
+
+  KeyState& state = it->second;
+  ++state.rows;
+  state.packets += event.counter;
+  state.latency_sum += static_cast<double>(event.queue_latency_us);
+  state.sample = event;
+  ++stats_.rows;
+  stats_.keys_active = keys_.size();
+}
+
+void WindowEngine::advance(util::SimTime watermark, const Sink& sink) {
+  const util::SimTime target = bucket(watermark - lateness_);
+  for (auto it = keys_.begin(); it != keys_.end();) {
+    if (roll_to(it->first, it->second, target, sink)) {
+      ++it;
+    } else {
+      free_detectors_.push_back(std::move(it->second.detector));
+      ++stats_.keys_recycled;
+      it = keys_.erase(it);
+    }
+  }
+  stats_.keys_active = keys_.size();
+}
+
+}  // namespace netseer::detect

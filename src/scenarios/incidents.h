@@ -4,9 +4,29 @@
 #include <string>
 #include <vector>
 
+#include "detect/rules.h"
 #include "scenarios/harness.h"
 
+namespace netseer::detect {
+struct Alert;
+}
+
 namespace netseer::scenarios {
+
+/// A detection-service alert, detached from the service that raised it
+/// (the service dies with the incident's harness). The e2e suite pins
+/// exact expected sets of these per incident.
+struct IncidentAlert {
+  std::string rule;           // rule name ("drop-burst", ...)
+  std::string severity;       // "warning" / "critical"
+  std::string state;          // "active" / "resolved"
+  util::NodeId switch_id = util::kInvalidNode;
+  std::uint64_t group = 0;    // flow hash / ACL rule id / 0, per rule scope
+  packet::FlowKey flow{};     // representative flow from the alert sample
+  util::SimTime raised_at = 0;
+  std::uint32_t firing_windows = 0;
+  std::uint32_t flaps = 0;
+};
 
 /// Outcome of replaying one of the paper's five real incidents (§5.1,
 /// Fig. 8a) on the simulated testbed. "Location time with NetSeer" is
@@ -26,7 +46,14 @@ struct IncidentReport {
   bool network_exonerated = false;  // only meaningful for incident #5
   std::string evidence;
 
+  /// What the streaming detection service raised over this incident's
+  /// event stream (every alert, active and resolved, in raise order).
+  std::vector<IncidentAlert> alerts;
+
   [[nodiscard]] bool located() const { return detection_latency >= 0; }
+
+  /// Alerts of `rule` whose fingerprint names `switch_id` (any group).
+  [[nodiscard]] std::size_t alert_count(std::string_view rule, util::NodeId switch_id) const;
 };
 
 /// Replays of the five §5.1 incidents. Each builds its own harness,
@@ -40,6 +67,10 @@ class IncidentSuite {
   /// When set, every replay folds its harness counters into `registry`
   /// after settling (see Harness::collect_metrics).
   void set_metrics(telemetry::Registry* registry) { metrics_ = registry; }
+
+  /// Replace the detection configuration every replay runs with (the
+  /// default is detect::RuleSet::defaults()).
+  void set_detect_rules(detect::RuleSet rules) { rules_ = std::move(rules); }
 
   /// #1 Routing error due to network update: wrong route installed at
   /// the core layer; victim traffic loops and dies by TTL.
@@ -61,11 +92,17 @@ class IncidentSuite {
   /// is exonerating the network quickly.
   [[nodiscard]] IncidentReport server_side_bug();
 
+  /// Fault-free control: the same testbed and victim-style traffic with
+  /// no fault injected. The detection service must stay silent here —
+  /// the e2e suite asserts alerts is empty.
+  [[nodiscard]] IncidentReport baseline();
+
   [[nodiscard]] std::vector<IncidentReport> run_all();
 
  private:
   std::uint64_t seed_;
   telemetry::Registry* metrics_ = nullptr;
+  detect::RuleSet rules_ = detect::RuleSet::defaults();
 };
 
 }  // namespace netseer::scenarios

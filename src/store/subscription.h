@@ -33,6 +33,10 @@ class Subscription {
 
   /// Last LSN this subscription has consumed (delivered or skipped).
   [[nodiscard]] std::uint64_t cursor_lsn() const { return cursor_; }
+  /// Alias of cursor_lsn(): the LSN to persist as a resume point —
+  /// `store.subscribe(query, last_lsn())` after a close/reopen delivers
+  /// exactly the rows this subscription never saw.
+  [[nodiscard]] std::uint64_t last_lsn() const { return cursor_; }
   [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
   /// Rows evicted by retention before this subscriber polled them.
   [[nodiscard]] std::uint64_t lagged() const { return lagged_; }

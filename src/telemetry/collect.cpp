@@ -8,6 +8,7 @@
 #include "packet/pool.h"
 #include "pdp/resources.h"
 #include "pdp/switch.h"
+#include "detect/service.h"
 #include "sim/parallel.h"
 #include "sim/simulator.h"
 #include "store/store.h"
@@ -19,6 +20,7 @@ constexpr std::string_view kPdp = "pdp";
 constexpr std::string_view kCore = "core";
 constexpr std::string_view kBackend = "backend";
 constexpr std::string_view kStore = "store";
+constexpr std::string_view kDetect = "detect";
 constexpr std::string_view kSim = "sim";
 constexpr std::string_view kParallel = "parallel";
 }  // namespace
@@ -215,6 +217,44 @@ void collect(Registry& registry, const store::FlowEventStore& flow_store) {
       .update_max(static_cast<std::int64_t>(flow_store.size()));
   registry.gauge(kStore, "store.segments")
       .update_max(static_cast<std::int64_t>(flow_store.segment_count()));
+}
+
+void collect(Registry& registry, const detect::DetectService& service) {
+  const auto& s = service.stats();
+  registry.counter(kDetect, "rows").add(s.rows);
+  registry.counter(kDetect, "pumps").add(s.pumps);
+  registry.counter(kDetect, "checkpoints").add(s.checkpoints);
+  registry.counter(kDetect, "rows_delivered").add(service.subscription().delivered());
+  registry.counter(kDetect, "rows_lagged").add(service.subscription().lagged());
+  registry.gauge(kDetect, "last_lsn")
+      .update_max(static_cast<std::int64_t>(service.subscription().last_lsn()));
+  registry.gauge(kDetect, "watermark_ns").update_max(service.watermark());
+
+  std::uint64_t closed = 0;
+  std::uint64_t empty = 0;
+  std::uint64_t late = 0;
+  std::uint64_t keys = 0;
+  std::uint64_t recycled = 0;
+  for (const auto& engine : service.engines()) {
+    const auto& es = engine.stats();
+    closed += es.windows_closed;
+    empty += es.windows_empty;
+    late += es.late_rows;
+    keys += es.keys_active;
+    recycled += es.keys_recycled;
+  }
+  registry.counter(kDetect, "windows_closed").add(closed);
+  registry.counter(kDetect, "windows_empty").add(empty);
+  registry.counter(kDetect, "rows_late").add(late);
+  registry.counter(kDetect, "keys_recycled").add(recycled);
+  registry.gauge(kDetect, "keys_active").update_max(static_cast<std::int64_t>(keys));
+
+  const auto& a = service.alerts().stats();
+  registry.counter(kDetect, "alerts.raised").add(a.raised);
+  registry.counter(kDetect, "alerts.reopened").add(a.reopened);
+  registry.counter(kDetect, "alerts.escalated").add(a.escalated);
+  registry.counter(kDetect, "alerts.resolved").add(a.resolved);
+  registry.gauge(kDetect, "alerts.active").update_max(static_cast<std::int64_t>(a.active));
 }
 
 void collect(Registry& registry, const sim::Simulator& sim, double wall_seconds) {

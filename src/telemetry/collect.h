@@ -16,6 +16,9 @@ class EventStore;
 namespace netseer::store {
 class FlowEventStore;
 }
+namespace netseer::detect {
+class DetectService;
+}
 namespace netseer::sim {
 class Simulator;
 class ParallelSimulator;
@@ -61,6 +64,14 @@ void collect(Registry& registry, const backend::EventStore& store);
 /// scanned/pruned, index hits, full scans, rows examined/matched) — plus
 /// population gauges store.events / store.segments.
 void collect(Registry& registry, const store::FlowEventStore& store);
+
+/// Subsystem "detect": the anomaly-detection service — rows pumped,
+/// subscription health (delivered/lagged, last LSN), per-engine window
+/// lifecycle (closed/empty/late, active keys), and the alert pipeline
+/// (raised/reopened/escalated/resolved/active). The series
+/// "detect.alerts.active" and "detect.rows_lagged" are always present so
+/// smoke runs can assert them.
+void collect(Registry& registry, const detect::DetectService& service);
 
 /// Subsystem "sim": events processed, virtual time, wall-clock cost per
 /// simulated second (pass the wall time the caller measured), engine

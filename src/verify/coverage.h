@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/symbolic.h"
+
+namespace netseer::verify {
+
+/// One loss class a deployment can exhibit, extracted from a symbolic
+/// verify run in the machine-readable form `netseer_verify
+/// --coverage-out` emits. The detection cross-check consumes this list:
+/// every class must map to a detect rule that observes its event stream,
+/// or carry an explicit waiver in the RuleSet.
+struct CoverageClass {
+  /// "drop.<reason>" for reachable drop paths (events exist to detect),
+  /// "path.<stage>" / "path.blackhole" for silent loss (no emission
+  /// crossed), "lpm.<prefix>" / "acl.rule.<id>" for dead deployed state
+  /// (can never match traffic, so can never generate events).
+  std::string name;
+  /// True when no event-emission point covers the class — a runtime
+  /// detector over the event stream is structurally blind to it.
+  bool silent = false;
+  std::string source;  // "symbolic.summary" or the diagnostic pass name
+};
+
+/// Derive the class list from an already-run symbolic pass: reachable
+/// drop reasons from `summary`, silent-loss and dead-state classes from
+/// the "symbolic.*" diagnostics in `report`. Deduplicated by name,
+/// deterministic order.
+[[nodiscard]] std::vector<CoverageClass> coverage_classes(const Report& report,
+                                                          const SymbolicSummary& summary);
+
+/// Run check_symbolic over every switch (adding its diagnostics to
+/// `report`), merge the summaries, and derive the classes in one go.
+[[nodiscard]] std::vector<CoverageClass> collect_coverage(
+    Report& report, const std::vector<pdp::Switch*>& switches,
+    const core::NetSeerConfig& config, const VerifyOptions& options,
+    const SymbolicOptions& symbolic = {});
+
+/// {"classes":[{"name":...,"silent":...,"source":...}]}
+[[nodiscard]] std::string render_coverage_json(const std::vector<CoverageClass>& classes);
+
+}  // namespace netseer::verify

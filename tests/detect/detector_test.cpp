@@ -1,0 +1,175 @@
+// Golden unit tests for the three detector families: exact hysteresis
+// levels for the static threshold, warm-up / frozen-while-firing / decay
+// behaviour for the EWMA residual, and the CUSUM detection-delay law
+// (delay ~ decision_h / (shift - slack) windows). These are the math
+// contracts the e2e expectations are derived from — if one of these
+// moves, the incident alert sets move with it.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "detect/detectors.h"
+#include "detect/rules.h"
+
+namespace netseer::detect {
+namespace {
+
+std::vector<bool> feed(Detector& detector, const std::vector<double>& values) {
+  std::vector<bool> firing;
+  firing.reserve(values.size());
+  for (const double v : values) firing.push_back(detector.observe(v, false).firing);
+  return firing;
+}
+
+TEST(ThresholdDetectorTest, HysteresisGolden) {
+  ThresholdDetector d(/*trigger=*/10, /*clear=*/5);
+  const auto firing = feed(d, {3, 10, 7, 6, 5, 9, 10});
+  const std::vector<bool> expected{false,  // 3 below trigger
+                                   true,   // 10 reaches trigger
+                                   true,   // 7 holds (above clear)
+                                   true,   // 6 holds
+                                   false,  // 5 falls to the clear level
+                                   false,  // 9 below trigger again
+                                   true};  // 10 re-triggers
+  EXPECT_EQ(firing, expected);
+}
+
+TEST(ThresholdDetectorTest, ScoreIsValueOverTrigger) {
+  ThresholdDetector d(10, 5);
+  EXPECT_DOUBLE_EQ(d.observe(20, false).score, 2.0);
+  EXPECT_DOUBLE_EQ(d.observe(15, false).score, 1.5);
+}
+
+TEST(ThresholdDetectorTest, ClearClampedToTrigger) {
+  // clear > trigger would deadband inverted; ctor clamps it down.
+  ThresholdDetector d(10, 50);
+  EXPECT_TRUE(d.observe(10, false).firing);
+  EXPECT_FALSE(d.observe(10, false).firing);  // releases at value <= trigger
+}
+
+TEST(EwmaDetectorTest, WarmupNeverFires) {
+  EwmaDetector d(0.5, 3.0, /*warmup=*/4, 1.0, false);
+  // Wildly anomalous values inside the warm-up train the baseline
+  // instead of firing — the family has no reference to judge against.
+  EXPECT_FALSE(d.observe(1000, false).firing);
+  EXPECT_FALSE(d.observe(0, false).firing);
+  EXPECT_FALSE(d.observe(1000, false).firing);
+  EXPECT_FALSE(d.observe(0, false).firing);
+  EXPECT_TRUE(d.warmed_up());
+}
+
+TEST(EwmaDetectorTest, GoldenSequence) {
+  EwmaDetector d(0.5, 3.0, /*warmup=*/4, /*min_sigma=*/1.0, false);
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(d.observe(10, false).firing);
+  EXPECT_DOUBLE_EQ(d.mean(), 10.0);
+  EXPECT_DOUBLE_EQ(d.sigma(), 1.0);  // flat warm-up floors at min_sigma
+
+  // 12: residual 2 < 3*sigma -> in control, learns.
+  EXPECT_FALSE(d.observe(12, false).firing);
+  EXPECT_DOUBLE_EQ(d.mean(), 11.0);  // 10 + 0.5 * 2
+
+  // 20: residual 9 > gate -> fires; moments freeze while firing.
+  const auto fired = d.observe(20, false);
+  EXPECT_TRUE(fired.firing);
+  EXPECT_GT(fired.score, 1.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 11.0);  // unchanged: anomaly must not teach
+
+  // Back inside the gate: releases, resumes learning.
+  EXPECT_FALSE(d.observe(11, false).firing);
+}
+
+TEST(EwmaDetectorTest, SkipEmptyReleasesWithoutLearning) {
+  EwmaDetector d(0.5, 3.0, 2, 1.0, /*skip_empty=*/true);
+  (void)d.observe(10, false);
+  (void)d.observe(10, false);
+  EXPECT_TRUE(d.observe(100, false).firing);
+  const double mean_before = d.mean();
+  // Empty window of a sample-statistic feature: no samples arrived, so
+  // the firing state releases and the baseline is untouched.
+  EXPECT_FALSE(d.observe(0, true).firing);
+  EXPECT_DOUBLE_EQ(d.mean(), mean_before);
+}
+
+TEST(EwmaDetectorTest, RateFeatureTreatsEmptyAsZeroSample) {
+  EwmaDetector d(0.5, 3.0, 2, 1.0, /*skip_empty=*/false);
+  (void)d.observe(10, false);
+  (void)d.observe(10, false);
+  const double mean_before = d.mean();
+  (void)d.observe(0, true);  // a real zero: the rate fell to nothing
+  EXPECT_LT(d.mean(), mean_before);
+}
+
+TEST(CusumDetectorTest, DetectionDelayLaw) {
+  // reference 10, slack 1, h 8: a shift to 13 contributes drift 2 per
+  // window, so the statistic crosses h=8 after ceil(8/2)+1 = 5 windows.
+  CusumDetector d(/*slack=*/1, /*decision_h=*/8, /*warmup=*/4);
+  for (int i = 0; i < 4; ++i) (void)d.observe(10, false);
+  EXPECT_DOUBLE_EQ(d.reference(), 10.0);
+
+  int windows_to_fire = 0;
+  while (!d.observe(13, false).firing) {
+    ++windows_to_fire;
+    ASSERT_LT(windows_to_fire, 100);
+  }
+  EXPECT_EQ(windows_to_fire, 4);  // fires ON the 5th shifted window
+}
+
+TEST(CusumDetectorTest, SlackAbsorbsJitter) {
+  CusumDetector d(/*slack=*/1, /*decision_h=*/8, /*warmup=*/8);
+  for (int i = 0; i < 8; ++i) (void)d.observe(10 + (i % 2), false);  // ref ~10.5
+  // Jitter inside the slack band never accumulates.
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_FALSE(d.observe(10 + (i % 2), false).firing);
+  }
+  EXPECT_LT(d.statistic(), 8.0);
+}
+
+TEST(CusumDetectorTest, DrainsAndClearsAfterShiftEnds) {
+  CusumDetector d(1, 8, 4);
+  for (int i = 0; i < 4; ++i) (void)d.observe(10, false);
+  while (!d.observe(13, false).firing) {
+  }
+  // Back in control: drift is now -1 per window; clears below h/2.
+  int windows_to_clear = 0;
+  while (d.observe(10, false).firing) {
+    ++windows_to_clear;
+    ASSERT_LT(windows_to_clear, 100);
+  }
+  EXPECT_GT(windows_to_clear, 2);  // hysteresis: not a one-window release
+  EXPECT_DOUBLE_EQ(d.statistic(), 0.0);
+}
+
+TEST(DetectorFactoryTest, BuildsEveryFamily) {
+  RuleSet set = RuleSet::defaults();
+  bool saw_threshold = false, saw_ewma = false, saw_cusum = false;
+  for (const Rule& rule : set.rules) {
+    const auto detector = make_detector(rule);
+    ASSERT_NE(detector, nullptr) << rule.name;
+    EXPECT_STREQ(detector->family(), to_string(rule.family));
+    saw_threshold |= rule.family == Family::kThreshold;
+    saw_ewma |= rule.family == Family::kEwma;
+    saw_cusum |= rule.family == Family::kCusum;
+  }
+  EXPECT_TRUE(saw_threshold && saw_ewma && saw_cusum);
+}
+
+TEST(DetectorResetTest, ResetForgetsEverything) {
+  EwmaDetector e(0.5, 3, 2, 1, false);
+  (void)e.observe(100, false);
+  (void)e.observe(100, false);
+  e.reset();
+  EXPECT_FALSE(e.warmed_up());
+  EXPECT_DOUBLE_EQ(e.mean(), 0.0);
+
+  CusumDetector c(1, 8, 1);
+  (void)c.observe(10, false);
+  while (!c.observe(50, false).firing) {
+  }
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.statistic(), 0.0);
+  EXPECT_DOUBLE_EQ(c.reference(), 0.0);
+}
+
+}  // namespace
+}  // namespace netseer::detect

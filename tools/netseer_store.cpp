@@ -6,7 +6,8 @@
 //   netseer_store query <dir> <spec> [th]  run a query (see --help for spec),
 //                                          scatter-gathered over th threads
 //   netseer_store tail <dir> [from-lsn]    subscription demo: stream every
-//                                          durable row after from-lsn
+//                  [--metrics-out <path>]  durable row after from-lsn; prints
+//                                          subscription health on exit
 //   netseer_store gen <dir> [n] [torn]     synthesize a store; optional torn
 //                     [group]              WAL tail after `torn` bytes; `group`
 //                                          ingests through async group commit
@@ -26,6 +27,8 @@
 #include "core/event.h"
 #include "store/store.h"
 #include "store/subscription.h"
+#include "telemetry/collect.h"
+#include "telemetry/snapshot.h"
 
 using namespace netseer;
 
@@ -40,7 +43,7 @@ int usage(const char* argv0) {
                "  query <dir> <spec> [threads]\n"
                "                       spec: type=drop,switch=3,from=0,to=1000000,\n"
                "                       flow=10.0.0.1:1234>10.0.0.2:80/6\n"
-               "  tail <dir> [from-lsn]\n"
+               "  tail <dir> [from-lsn] [--metrics-out <path>]\n"
                "  gen <dir> [events] [torn-after-bytes] [group]\n",
                argv0);
   return 2;
@@ -115,9 +118,11 @@ int cmd_query(store::FlowEventStore& fs, const std::string& spec) {
 
 /// Stream every durable row after `from_lsn` through the subscription
 /// API. On an offline directory one poll drains to the watermark; the
-/// printout shows the exactly-once LSN cursor an online tailer would
-/// resume from.
-int cmd_tail(store::FlowEventStore& fs, std::uint64_t from_lsn) {
+/// exit summary is the subscription-health block an online tailer would
+/// watch: rows delivered, rows evicted into lag, and the last-delivered
+/// LSN a checkpoint would persist as the resume point.
+int cmd_tail(store::FlowEventStore& fs, std::uint64_t from_lsn,
+             const std::string& metrics_out) {
   auto sub = fs.subscribe(backend::EventQuery{}, from_lsn);
   std::size_t shown = 0;
   while (sub.poll(
@@ -134,12 +139,33 @@ int cmd_tail(store::FlowEventStore& fs, std::uint64_t from_lsn) {
              4096) > 0) {
   }
   if (shown > 50) std::printf("... and %zu more\n", shown - 50);
-  std::printf("%llu row(s) delivered, %llu lagged (evicted), cursor at LSN %llu "
-              "(durable watermark %llu)\n",
+
+  const std::uint64_t watermark = fs.durable_watermark();
+  const std::uint64_t lag = watermark - sub.last_lsn();
+  std::printf("subscription health:\n"
+              "  rows delivered     %llu\n"
+              "  rows evicted (lag) %llu\n"
+              "  last-delivered LSN %llu (resume point)\n"
+              "  durable watermark  %llu (%llu behind)\n",
               static_cast<unsigned long long>(sub.delivered()),
               static_cast<unsigned long long>(sub.lagged()),
-              static_cast<unsigned long long>(sub.cursor_lsn()),
-              static_cast<unsigned long long>(fs.durable_watermark()));
+              static_cast<unsigned long long>(sub.last_lsn()),
+              static_cast<unsigned long long>(watermark),
+              static_cast<unsigned long long>(lag));
+
+  if (!metrics_out.empty()) {
+    telemetry::Registry registry;
+    telemetry::collect(registry, fs);
+    registry.counter("store", "tail.rows_delivered").add(sub.delivered());
+    registry.counter("store", "tail.rows_evicted").add(sub.lagged());
+    registry.gauge("store", "tail.last_lsn").set(static_cast<std::int64_t>(sub.last_lsn()));
+    registry.gauge("store", "tail.lag").set(static_cast<std::int64_t>(lag));
+    const auto snapshot = telemetry::MetricsSnapshot::capture(registry);
+    if (!snapshot.write_file(metrics_out)) {
+      std::fprintf(stderr, "netseer_store: cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+  }
   return 0;
 }
 
@@ -253,8 +279,17 @@ int main(int argc, char** argv) {
     return cmd_query(fs, argv[3]);
   }
   if (cmd == "tail") {
-    const std::uint64_t from = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 0;
-    return cmd_tail(fs, from);
+    std::uint64_t from = 0;
+    std::string metrics_out;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--metrics-out") == 0) {
+        if (i + 1 >= argc) return usage(argv[0]);
+        metrics_out = argv[++i];
+      } else {
+        from = std::strtoull(argv[i], nullptr, 10);
+      }
+    }
+    return cmd_tail(fs, from, metrics_out);
   }
   return usage(argv[0]);
 }

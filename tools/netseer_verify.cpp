@@ -21,6 +21,7 @@
 #include "fabric/fat_tree.h"
 #include "packet/addr.h"
 #include "pdp/switch.h"
+#include "verify/coverage.h"
 #include "verify/symbolic.h"
 #include "verify/verifier.h"
 
@@ -30,7 +31,8 @@ namespace {
 
 struct Args {
   std::string topology = "testbed";
-  std::string fixture;  // empty = verify the topology as shipped
+  std::string fixture;       // empty = verify the topology as shipped
+  std::string coverage_out;  // write machine-readable loss classes here
   bool json = false;
   bool strict = false;
   bool symbolic = false;
@@ -38,7 +40,7 @@ struct Args {
 
 void usage() {
   std::puts("netseer_verify [--topology testbed|fat4|fat6|fat8] [--json] [--strict]");
-  std::puts("               [--symbolic]");
+  std::puts("               [--symbolic] [--coverage-out <path>]");
   std::puts("               [--fixture shadowed-acl|tcam-overflow|undersized-ring|stage-hazard");
   std::puts("                          |silent-drop|double-emit|uninit-meta|dead-route]");
   std::puts("");
@@ -47,7 +49,9 @@ void usage() {
   std::puts("pipeline execution paths and proves drop coverage (zero-FN), no");
   std::puts("double-report (zero-FP), reachability, metadata initialization, and");
   std::puts("path-sensitive capacity. --fixture seeds a known defect (used by CI");
-  std::puts("to prove each verifier pass actually fires).");
+  std::puts("to prove each verifier pass actually fires). --coverage-out runs the");
+  std::puts("symbolic pass and writes the loss classes the deployment can exhibit");
+  std::puts("as JSON — the list the detect-coverage cross-check consumes.");
   std::puts("");
   std::puts("Exit codes: 0 = clean, 1 = diagnostics failed, 2 = usage error.");
 }
@@ -66,6 +70,8 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.strict = true;
     } else if (flag == "--symbolic") {
       args.symbolic = true;
+    } else if (flag == "--coverage-out") {
+      if (const char* v = next()) args.coverage_out = v; else return false;
     } else {
       if (flag != "--help" && flag != "-h") {
         std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
@@ -241,6 +247,25 @@ int main(int argc, char** argv) {
   }
   if (symbolic_defect) {
     verify::check_symbolic(report, *tb.tors[0], config, options, symopts);
+  }
+
+  if (!args.coverage_out.empty()) {
+    // A scratch report: the symbolic pass re-runs for class extraction
+    // without duplicating diagnostics into the exit-code report.
+    verify::Report scratch;
+    const auto classes = verify::collect_coverage(scratch, tb.all_switches(), config,
+                                                  options, symopts);
+    const std::string json = verify::render_coverage_json(classes);
+    FILE* f = std::fopen(args.coverage_out.c_str(), "wb");
+    bool ok = f != nullptr;
+    if (ok) {
+      ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+      ok = std::fclose(f) == 0 && ok;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "cannot write %s\n", args.coverage_out.c_str());
+      return 2;
+    }
   }
 
   if (args.json) {
