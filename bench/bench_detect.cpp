@@ -112,7 +112,7 @@ RepResult tail_detect_run(store::FlowEventStore& fs, std::span<const core::FlowE
     fs.add_batch(pregen.subspan(off, n), pregen[off].detected_at + 50);
     service.pump();
   }
-  fs.sync();
+  (void)fs.sync();
   service.pump();  // rows the final sync made visible
   service.finish();
   RepResult r;

@@ -68,7 +68,7 @@ struct EngineBench {
     pkt.payload_bytes = static_cast<std::uint32_t>(64 + (rnd() & 1023));
     pkt.meta.enqueue_time = sim.now();
     // Identical shape to Link::send: this + pooled slot, 24 B inline.
-    sim.schedule_after(static_cast<util::SimDuration>(16 * (1 + (rnd() % 512))),
+    (void)sim.schedule_after(static_cast<util::SimDuration>(16 * (1 + (rnd() % 512))),
                        [this, slot = packet::Pool::local().acquire(std::move(pkt))]() mutable {
                          hop(slot.take());
                        });
@@ -82,19 +82,19 @@ struct EngineBench {
       periodics[victim] = sim.schedule_every(
           static_cast<util::SimDuration>(16 * (128 + (rnd() % 512))), [this] { rnd(); });
     }
-    sim.schedule_after(static_cast<util::SimDuration>(16 * (64 + (r % 2048))),
+    (void)sim.schedule_after(static_cast<util::SimDuration>(16 * (64 + (r % 2048))),
                        [this, idx] { timer_fire(idx); });
   }
 
   void setup() {
     for (int i = 0; i < 1024; ++i) {
-      sim.schedule_at(static_cast<util::SimTime>(rnd() % 1024),
+      (void)sim.schedule_at(static_cast<util::SimTime>(rnd() % 1024),
                       [this, slot = packet::Pool::local().acquire(make_packet())]() mutable {
                         hop(slot.take());
                       });
     }
     for (std::uint32_t i = 0; i < 512; ++i) {
-      sim.schedule_at(static_cast<util::SimTime>(rnd() % 1024), [this, i] { timer_fire(i); });
+      (void)sim.schedule_at(static_cast<util::SimTime>(rnd() % 1024), [this, i] { timer_fire(i); });
     }
     for (int i = 0; i < 128; ++i) {
       periodics.push_back(sim.schedule_every(

@@ -29,7 +29,7 @@ double simulated_eps(int batch_size, telemetry::Registry* metrics) {
   // Keep the stack saturated while the clock advances 2 ms.
   const util::SimTime horizon = util::milliseconds(2);
   for (util::SimTime t = 0; t < horizon; t += util::microseconds(50)) {
-    sim.schedule_at(t, [&] {
+    (void)sim.schedule_at(t, [&] {
       while (stack.size() < 100000 && stack.push(ev)) {
       }
       // One notify per push in real operation; here a bulk refill wakes

@@ -46,11 +46,11 @@ int main(int argc, char** argv) {
   harness.add_workload(gen);
 
   // Pipeline drops: blackhole one host at one agg.
-  sim.schedule_at(util::milliseconds(4), [&tb] {
+  (void)sim.schedule_at(util::milliseconds(4), [&tb] {
     tb.aggs[0]->routes().set_corrupted(packet::Ipv4Prefix{tb.hosts[3]->addr(), 32}, true);
   });
   // ACL drop: deny one prefix at a ToR.
-  sim.schedule_at(util::milliseconds(4), [&tb] {
+  (void)sim.schedule_at(util::milliseconds(4), [&tb] {
     pdp::AclRule rule;
     rule.rule_id = 9;
     rule.dst = packet::Ipv4Prefix{tb.hosts[12]->addr(), 32};
@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
   });
   // Inter-switch: lossy fabric link window.
   net::Link* bad = tb.tors[2]->link(static_cast<util::PortId>(options.topo.hosts_per_tor));
-  sim.schedule_at(util::milliseconds(6), [bad] {
+  (void)sim.schedule_at(util::milliseconds(6), [bad] {
     net::LinkFaultModel faults;
     faults.drop_prob = 0.01;
     bad->set_fault_model(faults);

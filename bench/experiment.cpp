@@ -261,19 +261,19 @@ WorkloadResult run_workload_experiment(const traffic::EmpiricalCdf& workload,
   // Inter-switch: a corrupting + silently dropping fabric link.
   const auto uplink_port = static_cast<util::PortId>(options.topo.hosts_per_tor);
   net::Link* bad_link = tb.tors[0]->link(uplink_port);
-  sim.schedule_at(config.duration / 4, [bad_link] {
+  (void)sim.schedule_at(config.duration / 4, [bad_link] {
     net::LinkFaultModel faults;
     faults.drop_prob = 0.005;
     faults.corrupt_prob = 0.002;
     bad_link->set_fault_model(faults);
   });
-  sim.schedule_at(config.duration * 3 / 4, [bad_link] {
+  (void)sim.schedule_at(config.duration * 3 / 4, [bad_link] {
     bad_link->set_fault_model(net::LinkFaultModel{});
   });
 
   // Pipeline drop: a parity-corrupted route entry on one agg blackholes
   // part of the ECMP spread toward one host.
-  sim.schedule_at(config.duration / 2, [&tb] {
+  (void)sim.schedule_at(config.duration / 2, [&tb] {
     tb.aggs[1]->routes().set_corrupted(
         packet::Ipv4Prefix{tb.hosts[1]->addr(), 32}, true);
   });
@@ -281,7 +281,7 @@ WorkloadResult run_workload_experiment(const traffic::EmpiricalCdf& workload,
   // Path change: a "network update" pins tor0-0's route toward hosts[8]
   // (which lives under tor0-1) to a single agg uplink; flows that were
   // ECMP'd onto the other uplink change paths.
-  sim.schedule_at(config.duration / 2, [&tb, uplink_port] {
+  (void)sim.schedule_at(config.duration / 2, [&tb, uplink_port] {
     tb.tors[0]->routes().insert(packet::Ipv4Prefix{tb.hosts[8]->addr(), 32},
                                 pdp::EcmpGroup{{uplink_port}});
   });

@@ -29,7 +29,7 @@ int main() {
   net::Host& service = *tb.hosts[0];
   const packet::FlowKey customer_flow{customer.addr(), service.addr(), 6, 5555, 443};
   for (int i = 0; i < 800; ++i) {
-    sim.schedule_at(i * util::microseconds(10), [&customer, customer_flow] {
+    (void)sim.schedule_at(i * util::microseconds(10), [&customer, customer_flow] {
       customer.send(packet::make_tcp(customer_flow, 400));
     });
   }

@@ -134,7 +134,7 @@ int main(int argc, char** argv) {
   if (args.fault == "lossy-link") {
     net::Link* bad =
         tb.tors[0]->link(static_cast<util::PortId>(options.topo.hosts_per_tor));
-    harness.simulator().schedule_at(onset, [bad] {
+    (void)harness.simulator().schedule_at(onset, [bad] {
       net::LinkFaultModel faults;
       faults.drop_prob = 0.005;
       faults.corrupt_prob = 0.002;
@@ -142,17 +142,17 @@ int main(int argc, char** argv) {
     });
     fault_desc = "silent loss+corruption on tor0-0 uplink";
   } else if (args.fault == "blackhole") {
-    harness.simulator().schedule_at(onset, [&tb] {
+    (void)harness.simulator().schedule_at(onset, [&tb] {
       tb.aggs[0]->routes().remove(packet::Ipv4Prefix{tb.hosts[1]->addr(), 32});
     });
     fault_desc = "route removed for " + tb.hosts[1]->addr().to_string() + " at agg0-0";
   } else if (args.fault == "parity") {
-    harness.simulator().schedule_at(onset, [&tb] {
+    (void)harness.simulator().schedule_at(onset, [&tb] {
       tb.aggs[0]->routes().set_corrupted(packet::Ipv4Prefix{tb.hosts[1]->addr(), 32}, true);
     });
     fault_desc = "parity-corrupted route entry at agg0-0";
   } else if (args.fault == "acl") {
-    harness.simulator().schedule_at(onset, [&tb] {
+    (void)harness.simulator().schedule_at(onset, [&tb] {
       pdp::AclRule rule;
       rule.rule_id = 700;
       rule.dst = packet::Ipv4Prefix{tb.hosts[2]->addr(), 32};

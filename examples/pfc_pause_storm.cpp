@@ -32,7 +32,7 @@ int main() {
   net::Host& bystander = *tb.hosts[8];
   const packet::FlowKey victim{bystander.addr(), tb.hosts[0]->addr(), 6, 4242, 443};
   for (int i = 0; i < 200; ++i) {
-    harness.simulator().schedule_at(i * util::microseconds(20), [&bystander, victim] {
+    (void)harness.simulator().schedule_at(i * util::microseconds(20), [&bystander, victim] {
       bystander.send(packet::make_tcp(victim, 600));
     });
   }

@@ -28,14 +28,14 @@ int main() {
     const packet::FlowKey flow{client.addr(), redis.addr(), 6,
                                static_cast<std::uint16_t>(6000 + c), 6379};
     for (int i = 0; i < 40; ++i) {
-      sim.schedule_at(i * util::microseconds(25), [&client, flow] {
+      (void)sim.schedule_at(i * util::microseconds(25), [&client, flow] {
         client.send(packet::make_tcp(flow, 300));
       });
     }
   }
 
   // The parity error: one /32 entry in agg0-0's route SRAM flips a bit.
-  sim.schedule_at(util::microseconds(100), [&tb, &redis] {
+  (void)sim.schedule_at(util::microseconds(100), [&tb, &redis] {
     tb.aggs[0]->routes().set_corrupted(packet::Ipv4Prefix{redis.addr(), 32}, true);
   });
 

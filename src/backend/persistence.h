@@ -25,8 +25,8 @@ namespace netseer::backend {
 /// exactly as it was, and a stream with bytes after the footer is
 /// rejected outright (a lying count field cannot smuggle records past
 /// the checksum).
-bool save_store(const EventStore& store, std::ostream& out);
-bool load_store(EventStore& store, std::istream& in);
+[[nodiscard]] bool save_store(const EventStore& store, std::ostream& out);
+[[nodiscard]] bool load_store(EventStore& store, std::istream& in);
 
 inline constexpr std::uint16_t kStoreFormatVersion = 2;
 

@@ -47,7 +47,7 @@ class CebpBatcher {
     for (std::size_t i = 0; i < cebps_.size(); ++i) {
       if (!cebps_[i].active) {
         cebps_[i].active = true;
-        sim_.schedule_after(config_.recirc_latency, [this, i] { circulate(i); });
+        (void)sim_.schedule_after(config_.recirc_latency, [this, i] { circulate(i); });
         return;
       }
     }
@@ -81,16 +81,16 @@ class CebpBatcher {
       cebp.payload.push_back(*popped);
       if (static_cast<int>(cebp.payload.size()) >= config_.batch_size) {
         emit(cebp);
-        sim_.schedule_after(config_.flush_latency, [this, i] { circulate(i); });
+        (void)sim_.schedule_after(config_.flush_latency, [this, i] { circulate(i); });
         return;
       }
-      sim_.schedule_after(config_.recirc_latency, [this, i] { circulate(i); });
+      (void)sim_.schedule_after(config_.recirc_latency, [this, i] { circulate(i); });
       return;
     }
     // Stack drained: flush a partial payload, then go idle.
     if (!cebp.payload.empty()) {
       emit(cebp);
-      sim_.schedule_after(config_.flush_latency, [this, i] {
+      (void)sim_.schedule_after(config_.flush_latency, [this, i] {
         // After the flush trip, re-check for new work before idling.
         if (!stack_.empty()) {
           circulate(i);

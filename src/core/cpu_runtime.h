@@ -32,7 +32,7 @@ class SwitchCpu {
     const auto service =
         config_.per_event_cost * static_cast<std::int64_t>(batch.events.size());
     busy_until_ = std::max(busy_until_, sim_.now()) + service;
-    sim_.schedule_at(busy_until_, [this, batch = std::move(batch)]() mutable {
+    (void)sim_.schedule_at(busy_until_, [this, batch = std::move(batch)]() mutable {
       process(std::move(batch));
     });
   }

@@ -226,7 +226,7 @@ InterSwitchTx::EmitDrop NetSeerApp::link_loss_emitter(util::PortId port) {
 void NetSeerApp::schedule_idle_drain(util::PortId port) {
   if (drain_scheduled_[port]) return;
   drain_scheduled_[port] = true;
-  sw_.simulator().schedule_after(util::milliseconds(1), [this, port] {
+  (void)sw_.simulator().schedule_after(util::milliseconds(1), [this, port] {
     drain_scheduled_[port] = false;
     if (!tx_[port]->has_pending()) return;
     tx_[port]->drain(64, link_loss_emitter(port));

@@ -76,7 +76,7 @@ class PcieChannel {
     EventBatch batch = std::move(queue_.front());
     queue_.pop_front();
     const auto t = service_time(config_, batch.events.size());
-    sim_.schedule_after(t, [this, batch = std::move(batch)]() mutable {
+    (void)sim_.schedule_after(t, [this, batch = std::move(batch)]() mutable {
       busy_ = false;
       ++batches_delivered_;
       deliver_(std::move(batch));

@@ -84,7 +84,7 @@ class ReliableReporter {
 
     // Pacing: delay the send until the token bucket admits it.
     const util::SimTime ready = pacer_.time_available(sim_.now(), bytes);
-    sim_.schedule_at(ready, [this, seq, bytes] {
+    (void)sim_.schedule_at(ready, [this, seq, bytes] {
       const auto again = inflight_.find(seq);
       if (again == inflight_.end()) return;
       (void)pacer_.try_consume(sim_.now(), bytes);
@@ -100,7 +100,7 @@ class ReliableReporter {
   }
 
   void arm_timer(std::uint32_t seq) {
-    sim_.schedule_after(config_.rto, [this, seq] {
+    (void)sim_.schedule_after(config_.rto, [this, seq] {
       if (inflight_.contains(seq)) transmit(seq, /*retransmit=*/true);
     });
   }

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "util/hash.h"
+#include "util/sync.h"
 
 namespace netseer::detect {
 
@@ -24,7 +25,11 @@ std::uint64_t initial_lsn(const DetectOptions& options) {
 
 DetectService::DetectService(const store::FlowEventStore& store, DetectOptions options)
     : options_(std::move(options)), alerts_(options_.rules),
-      sink_([this](const WindowResult& win) { alerts_.observe(win); }),
+      // Invoked only from pump_locked()/finish() with mu_ held; the
+      // analysis cannot see through the std::function indirection.
+      sink_([this](const WindowResult& win) NETSEER_NO_THREAD_SAFETY_ANALYSIS {
+        alerts_.observe(win);
+      }),
       sub_(store.subscribe(backend::EventQuery{}, initial_lsn(options_))) {
   engines_.reserve(options_.rules.rules.size());
   for (const Rule& rule : options_.rules.rules) engines_.emplace_back(rule, options_.rules);
@@ -37,6 +42,11 @@ DetectService::DetectService(const store::FlowEventStore& store, DetectOptions o
 }
 
 std::size_t DetectService::pump() {
+  util::MutexLock lock(mu_);
+  return pump_locked();
+}
+
+std::size_t DetectService::pump_locked() {
   std::size_t total = 0;
   for (;;) {
     const std::size_t n = sub_.poll(
@@ -64,6 +74,7 @@ std::size_t DetectService::pump() {
 }
 
 void DetectService::finish() {
+  util::MutexLock lock(mu_);
   if (finished_) return;
   finished_ = true;
   // Push the watermark one full window past the last event so every

@@ -13,6 +13,9 @@
 #include "sim/simulator.h"
 #include "store/store.h"
 #include "store/subscription.h"
+#include "util/annotations.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace netseer::detect {
 
@@ -62,43 +65,71 @@ class DetectService {
 
   /// Drain everything currently durable through the detectors, advance
   /// the event-time watermark, checkpoint. Returns rows consumed.
-  std::size_t pump();
+  /// Serialized against finish() and other pumps by mu_, so an inline
+  /// start() driver and a run_follow() thread cannot interleave engine
+  /// updates. Blocking: the checkpoint write is file I/O.
+  NETSEER_BLOCKING std::size_t pump() NETSEER_EXCLUDES(mu_);
 
   /// End-of-stream flush: force every open window closed (including the
   /// quiet windows that resolve still-active alerts). Call once after
   /// the final pump(); pumping again afterwards would double-close.
-  void finish();
+  void finish() NETSEER_EXCLUDES(mu_);
 
   /// Inline driver: pump on `sim` every `interval`, like
   /// FlowEventStore::start_maintenance. Cancel the handle before
   /// draining the simulation.
-  sim::TaskHandle start(sim::Simulator& sim, util::SimDuration interval);
+  [[nodiscard]] sim::TaskHandle start(sim::Simulator& sim, util::SimDuration interval);
 
   /// Dedicated-thread driver: pump, sleep `poll`, repeat until `stop`.
-  void run_follow(const std::atomic<bool>& stop, std::chrono::milliseconds poll);
+  NETSEER_BLOCKING void run_follow(const std::atomic<bool>& stop,
+                                   std::chrono::milliseconds poll)
+      NETSEER_EXCLUDES(mu_);
 
+  // Quiescent read-only views: call them only while no pump()/finish()
+  // is in flight (between simulator steps, or after run_follow joined).
+  // They deliberately bypass the analysis — taking mu_ here would make
+  // every accessor a lock site inside test assertions.
   [[nodiscard]] const RuleSet& rules() const { return options_.rules; }
-  [[nodiscard]] const std::vector<WindowEngine>& engines() const { return engines_; }
-  [[nodiscard]] const AlertManager& alerts() const { return alerts_; }
-  [[nodiscard]] const DetectServiceStats& stats() const { return stats_; }
-  [[nodiscard]] const store::Subscription& subscription() const { return sub_; }
+  [[nodiscard]] const std::vector<WindowEngine>& engines() const
+      NETSEER_NO_THREAD_SAFETY_ANALYSIS {
+    return engines_;
+  }
+  [[nodiscard]] const AlertManager& alerts() const NETSEER_NO_THREAD_SAFETY_ANALYSIS {
+    return alerts_;
+  }
+  [[nodiscard]] const DetectServiceStats& stats() const NETSEER_NO_THREAD_SAFETY_ANALYSIS {
+    return stats_;
+  }
+  [[nodiscard]] const store::Subscription& subscription() const
+      NETSEER_NO_THREAD_SAFETY_ANALYSIS {
+    return sub_;
+  }
   /// Max detected_at seen (the event-time watermark windows close against).
-  [[nodiscard]] util::SimTime watermark() const { return watermark_; }
+  [[nodiscard]] util::SimTime watermark() const NETSEER_NO_THREAD_SAFETY_ANALYSIS {
+    return watermark_;
+  }
 
   /// Resume-LSN checkpoint file I/O ("NSDC" format). Exposed for the
   /// restart tests and `netseer_detect`.
-  static bool save_checkpoint(const std::string& path, std::uint64_t lsn);
-  [[nodiscard]] static std::optional<std::uint64_t> load_checkpoint(const std::string& path);
+  [[nodiscard]] static NETSEER_BLOCKING bool save_checkpoint(const std::string& path,
+                                                            std::uint64_t lsn);
+  [[nodiscard]] static NETSEER_BLOCKING std::optional<std::uint64_t> load_checkpoint(
+      const std::string& path);
 
  private:
+  NETSEER_BLOCKING std::size_t pump_locked() NETSEER_REQUIRES(mu_);
+
   DetectOptions options_;
-  std::vector<WindowEngine> engines_;
-  AlertManager alerts_;
+  /// Serializes pump()/finish() across drivers. The engines, the
+  /// subscription cursor, and the stats all mutate under it.
+  util::Mutex mu_;
+  std::vector<WindowEngine> engines_ NETSEER_GUARDED_BY(mu_);
+  AlertManager alerts_ NETSEER_GUARDED_BY(mu_);
   WindowEngine::Sink sink_;
-  store::Subscription sub_;
-  util::SimTime watermark_ = 0;
-  bool finished_ = false;
-  DetectServiceStats stats_;
+  store::Subscription sub_ NETSEER_GUARDED_BY(mu_);
+  util::SimTime watermark_ NETSEER_GUARDED_BY(mu_) = 0;
+  bool finished_ NETSEER_GUARDED_BY(mu_) = false;
+  DetectServiceStats stats_ NETSEER_GUARDED_BY(mu_);
 };
 
 }  // namespace netseer::detect

@@ -51,6 +51,20 @@ bool WindowEngine::roll_to(const WindowKey& key, KeyState& state, util::SimTime 
   return true;
 }
 
+WindowEngine::KeyIter WindowEngine::materialize_key(const WindowKey& key, util::SimTime start) {
+  KeyState state;
+  state.window_start = start;
+  if (!free_detectors_.empty()) {
+    state.detector = std::move(free_detectors_.back());
+    free_detectors_.pop_back();
+    state.detector->reset();
+  } else {
+    state.detector = make_detector(rule_);
+  }
+  ++stats_.keys_created;
+  return keys_.emplace(key, std::move(state)).first;
+}
+
 void WindowEngine::offer(const backend::StoredEvent& row, const Sink& sink) {
   const core::FlowEvent& event = row.event;
   if (event.type != rule_.type) return;
@@ -66,17 +80,7 @@ void WindowEngine::offer(const backend::StoredEvent& row, const Sink& sink) {
 
   auto it = keys_.find(key);
   if (it == keys_.end()) {
-    KeyState state;
-    state.window_start = start;
-    if (!free_detectors_.empty()) {
-      state.detector = std::move(free_detectors_.back());
-      free_detectors_.pop_back();
-      state.detector->reset();
-    } else {
-      state.detector = make_detector(rule_);
-    }
-    ++stats_.keys_created;
-    it = keys_.emplace(key, std::move(state)).first;
+    it = materialize_key(key, start);
   } else {
     KeyState& state = it->second;
     if (start < state.window_start) {

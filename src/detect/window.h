@@ -11,6 +11,7 @@
 #include "detect/rules.h"
 #include "util/ids.h"
 #include "util/time.h"
+#include "util/annotations.h"
 
 namespace netseer::detect {
 
@@ -74,7 +75,7 @@ class WindowEngine {
 
   /// Offer one stored row; ignored unless it matches the rule's event
   /// type. May close this key's open window (rollover) via `sink`.
-  void offer(const backend::StoredEvent& row, const Sink& sink);
+  NETSEER_HOT void offer(const backend::StoredEvent& row, const Sink& sink);
 
   /// Advance the stream-wide watermark: close every window it has
   /// passed, emit empty windows up to it, GC idle keys.
@@ -95,9 +96,15 @@ class WindowEngine {
     std::unique_ptr<Detector> detector;
   };
 
+  using KeyIter = std::unordered_map<WindowKey, KeyState, WindowKeyHash>::iterator;
+
   [[nodiscard]] util::SimTime bucket(util::SimTime at) const;
   [[nodiscard]] double feature_value(const KeyState& state) const;
   void close_window(const WindowKey& key, KeyState& state, bool empty, const Sink& sink);
+  /// First row for a key: set up its state, recycling a detector off
+  /// the free list when one is available. The allocating branch of
+  /// offer(), taken once per key until the population stabilizes.
+  NETSEER_HOT_ALLOW_INIT KeyIter materialize_key(const WindowKey& key, util::SimTime start);
   /// Close + empty-fill `state` up to (excluding) `next_start`; returns
   /// false when the key went idle past the GC horizon and should die.
   bool roll_to(const WindowKey& key, KeyState& state, util::SimTime next_start,

@@ -54,7 +54,7 @@ class PingmeshProber {
         probe_bytes_ += 2 * probe.wire_bytes();  // probe + expected reply
         src->send(std::move(probe));
         // Timeout: record as loss if no reply by then.
-        sim_.schedule_after(timeout_, [this, id] {
+        (void)sim_.schedule_after(timeout_, [this, id] {
           const auto it = outstanding_.find(id);
           if (it == outstanding_.end()) return;
           results_.push_back(ProbeResult{it->second.src, it->second.dst, it->second.sent_at, -1});

@@ -34,7 +34,7 @@ void Link::send(packet::Packet&& pkt) {
   bytes_carried_ += pkt.wire_bytes();
   // The frame rides in a pooled slot so the hop capture (this + handle)
   // stays inside the Task's inline buffer — no heap traffic per hop.
-  sim_.schedule_after(delay_,
+  (void)sim_.schedule_after(delay_,
                       [this, slot = packet::Pool::local().acquire(std::move(pkt))]() mutable {
                         peer_.receive(slot.take(), peer_port_);
                       });

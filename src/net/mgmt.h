@@ -37,7 +37,7 @@ class MgmtChannel {
       ++lost_;
       return;
     }
-    sim_.schedule_after(delay_, [this, from, to, msg = std::move(msg)]() {
+    (void)sim_.schedule_after(delay_, [this, from, to, msg = std::move(msg)]() {
       auto it = handlers_.find(to);
       if (it != handlers_.end()) it->second(from, msg);
     });

@@ -34,7 +34,7 @@ void TxPort::apply_pause(util::QueueId queue, std::uint16_t quanta) {
       rate_.is_zero() ? 0 : rate_.serialization_delay(static_cast<std::int64_t>(quanta) * 64);
   paused_until_[queue] = sim_.now() + pause_time;
   // Re-kick the scheduler when the pause lapses (a RESUME may come first).
-  sim_.schedule_at(paused_until_[queue], [this] { maybe_start_transmission(); });
+  (void)sim_.schedule_at(paused_until_[queue], [this] { maybe_start_transmission(); });
 }
 
 bool TxPort::is_paused(util::QueueId queue) const {
@@ -67,7 +67,7 @@ void TxPort::maybe_start_transmission() {
   const util::SimDuration ser = rate_.serialization_delay(pkt.wire_bytes());
   ++tx_packets_;
   tx_bytes_ += pkt.wire_bytes();
-  sim_.schedule_after(ser,
+  (void)sim_.schedule_after(ser,
                       [this, slot = packet::Pool::local().acquire(std::move(pkt))]() mutable {
                         busy_ = false;
                         if (out_ != nullptr && up_) out_->send(slot.take());

@@ -7,6 +7,7 @@
 
 #include "mc/shim.h"
 #include "packet/packet.h"
+#include "util/annotations.h"
 #include "util/thread_annotations.h"
 
 namespace netseer::packet {
@@ -48,10 +49,10 @@ class PooledPacket {
   /// Move the frame out (for handing to a receive/enqueue API that takes
   /// Packet by value). The emptied slot still returns to the pool when
   /// this handle is destroyed.
-  [[nodiscard]] Packet take() { return std::move(*pkt_); }
+  [[nodiscard]] NETSEER_HOT Packet take() { return std::move(*pkt_); }
 
   /// Return the slot to the pool now instead of at destruction.
-  void reset();
+  NETSEER_HOT void reset();
 
  private:
   friend class Pool;
@@ -99,7 +100,7 @@ class Pool {
 
   /// Park `pkt` in a recycled slot and get the small handle for it.
   /// Owner thread only (enforced by a debug-build assertion).
-  [[nodiscard]] PooledPacket acquire(Packet&& pkt);
+  [[nodiscard]] NETSEER_HOT PooledPacket acquire(Packet&& pkt);
 
   [[nodiscard]] std::uint64_t acquires() const { return acquires_; }
   /// Acquires served from the free list (no new slot materialized).
@@ -114,9 +115,13 @@ class Pool {
 
  private:
   friend class PooledPacket;
-  void release(Packet* pkt);
-  void release_remote(Packet* pkt) NETSEER_EXCLUDES(remote_mu_);
-  void drain_remote() NETSEER_EXCLUDES(remote_mu_);
+  /// Free-list miss: carve the next slot, growing a slab when the
+  /// current one fills. The only allocating branch of acquire().
+  NETSEER_HOT_ALLOW_INIT Packet* materialize_slot();
+  NETSEER_HOT void release(Packet* pkt);
+  /// Off-owner slow path; mutex + vector growth are the point.
+  NETSEER_HOT_ALLOW_INIT void release_remote(Packet* pkt) NETSEER_EXCLUDES(remote_mu_);
+  NETSEER_HOT_ALLOW_INIT void drain_remote() NETSEER_EXCLUDES(remote_mu_);
 
   // Owner-thread-only state: the free-list fast path. Not lock-guarded
   // by design — the owner discipline (bind_owner + the acquire()

@@ -147,7 +147,7 @@ void Switch::run_pipeline(packet::Packet&& pkt, PipelineContext ctx) {
   ctx.queue = net::queue_for(pkt);
 
   if (config_.pipeline_latency > 0) {
-    sim_.schedule_after(config_.pipeline_latency,
+    (void)sim_.schedule_after(config_.pipeline_latency,
                         [this, slot = packet::Pool::local().acquire(std::move(pkt)),
                          ctx]() mutable { enqueue(slot.take(), ctx); });
   } else {

@@ -26,7 +26,7 @@ void send_paced(net::Host& host, const packet::FlowKey& flow, int count,
                 util::SimTime start = 0) {
   auto& sim = host.simulator();
   for (int i = 0; i < count; ++i) {
-    sim.schedule_at(start + i * interval, [&host, flow, payload] {
+    (void)sim.schedule_at(start + i * interval, [&host, flow, payload] {
       host.send(packet::make_tcp(flow, payload));
     });
   }
@@ -61,7 +61,7 @@ std::string format_evidence(const char* fmt, auto... args) {
 /// (windows are event-time, so offline replay == online detection).
 std::vector<IncidentAlert> detect_alerts(Harness& harness, const detect::RuleSet& rules,
                                          telemetry::Registry* metrics) {
-  harness.store().sync();  // the subscription tails the durable watermark
+  (void)harness.store().sync();  // the subscription tails the durable watermark
   detect::DetectOptions options;
   options.rules = rules;
   detect::DetectService service(harness.store(), std::move(options));
@@ -112,7 +112,7 @@ IncidentReport IncidentSuite::routing_error() {
   // route it up again: a forwarding loop, killed by TTL.
   const util::SimTime onset = util::milliseconds(2);
   report.fault_onset = onset;
-  harness.simulator().schedule_at(onset, [&tb, &dst] {
+  (void)harness.simulator().schedule_at(onset, [&tb, &dst] {
     for (auto* core : tb.cores) {
       // Port 0 on a core faces pod 0's first agg (wrong for a pod-1 dst).
       core->routes().insert(packet::Ipv4Prefix{dst.addr(), 32}, pdp::EcmpGroup{{0}});
@@ -199,7 +199,7 @@ IncidentReport IncidentSuite::parity_error() {
   // that ECMP onto agg0-0 blackhole; flows via agg0-1 are fine.
   const util::SimTime onset = util::milliseconds(1);
   report.fault_onset = onset;
-  harness.simulator().schedule_at(onset, [&tb, &redis] {
+  (void)harness.simulator().schedule_at(onset, [&tb, &redis] {
     tb.aggs[0]->routes().set_corrupted(packet::Ipv4Prefix{redis.addr(), 32}, true);
   });
 

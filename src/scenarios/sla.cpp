@@ -96,12 +96,12 @@ SlaStudyResult run_sla_study(const SlaStudyConfig& config) {
     lossy = tb.tors[0]->link(up_port);
   }
   const util::SimTime loss_to = loss_from + util::milliseconds(10);
-  sim.schedule_at(loss_from, [lossy] {
+  (void)sim.schedule_at(loss_from, [lossy] {
     net::LinkFaultModel faults;
     faults.drop_prob = 0.15;
     lossy->set_fault_model(faults);
   });
-  sim.schedule_at(loss_to, [lossy] { lossy->set_fault_model(net::LinkFaultModel{}); });
+  (void)sim.schedule_at(loss_to, [lossy] { lossy->set_fault_model(net::LinkFaultModel{}); });
 
   harness.run_and_settle(config.duration + util::milliseconds(30));
   if (config.metrics != nullptr) harness.collect_metrics(*config.metrics);

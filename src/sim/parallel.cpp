@@ -151,7 +151,9 @@ struct ParallelSimulator::Shard {
       cell.fn = std::move(msg.fn);
       cell.actor = msg.to;
       Shard* self = this;
-      sim.schedule_at(msg.when, [self, index] { self->fire(index); });
+      // The shard's slot/gen bookkeeping is the cancellation surface;
+      // the inner Simulator handle is never used to cancel injections.
+      (void)sim.schedule_at(msg.when, [self, index] { self->fire(index); });
     }
     due.clear();
   }
@@ -223,7 +225,9 @@ ShardTaskHandle ParallelSimulator::schedule_task(ActorId actor, SimTime when, Ta
   cell.actor = actor;
   const std::uint64_t gen = cell.gen;
   Shard* self = &s;
-  s.sim.schedule_at(when, [self, index] { self->fire(index); });
+  // Cancellation goes through the returned ShardTaskHandle (shard/index/
+  // gen), not the inner Simulator handle.
+  (void)s.sim.schedule_at(when, [self, index] { self->fire(index); });
   return ShardTaskHandle(this, s.id, index, gen);
 }
 
@@ -269,7 +273,7 @@ void ParallelSimulator::reduce_window(SimTime limit) {
   for (std::uint32_t s = 0; s < nshards_; ++s) {
     global_min = std::min(global_min, shard_min_[s].load(std::memory_order_relaxed));
   }
-  if (global_min > limit) {
+  if (abort_.load(std::memory_order_acquire) || global_min > limit) {
     done_.store(true, std::memory_order_relaxed);
     return;
   }
@@ -302,29 +306,51 @@ void ParallelSimulator::barrier(Shard& me, bool reduce, SimTime limit) {
 void ParallelSimulator::worker(std::uint32_t shard, SimTime limit) {
   Shard& s = *shards_[shard];
   tls_shard_ = &s;
-  for (;;) {
-    // Phase A: publish this shard's earliest pending timestamp; the
-    // barrier reduction turns the global minimum G into the conservative
-    // window [G, G + lookahead).
-    s.drain_inboxes();
-    s.fold_local_outbox();
-    SimTime local_min = s.sim.next_event_time();
-    if (!s.pending.empty() && s.pending.front().when < local_min) {
-      local_min = s.pending.front().when;
+  // Which barrier the round protocol owes next, so the catch path below
+  // can fall back into lockstep no matter where the exception left us.
+  bool owe_close = false;
+  try {
+    for (;;) {
+      // Phase A: publish this shard's earliest pending timestamp; the
+      // barrier reduction turns the global minimum G into the conservative
+      // window [G, G + lookahead).
+      s.drain_inboxes();
+      s.fold_local_outbox();
+      SimTime local_min = s.sim.next_event_time();
+      if (!s.pending.empty() && s.pending.front().when < local_min) {
+        local_min = s.pending.front().when;
+      }
+      shard_min_[shard].store(local_min, std::memory_order_relaxed);
+      barrier(s, /*reduce=*/true, limit);
+      if (done_.load(std::memory_order_relaxed)) break;
+      // Phase B: inject due arrivals in canonical order, execute the
+      // window, then close it — no shard may start the next reduction
+      // while a peer is still producing messages for it.
+      owe_close = true;
+      const SimTime end = window_end_.load(std::memory_order_relaxed);
+      s.inject_due(end);
+      s.sim.run_until(end - 1);
+      barrier(s, /*reduce=*/false, limit);
+      owe_close = false;
     }
-    shard_min_[shard].store(local_min, std::memory_order_relaxed);
-    barrier(s, /*reduce=*/true, limit);
-    if (done_.load(std::memory_order_relaxed)) break;
-    // Phase B: inject due arrivals in canonical order, execute the
-    // window, then close it — no shard may start the next reduction
-    // while a peer is still producing messages for it.
-    const SimTime end = window_end_.load(std::memory_order_relaxed);
-    s.inject_due(end);
-    s.sim.run_until(end - 1);
-    barrier(s, /*reduce=*/false, limit);
+    // Nothing at or before limit remains anywhere; advance the clock.
+    s.sim.run_until(limit);
+  } catch (...) {
+    // An actor callback threw mid-window. The peers are parked at (or
+    // heading into) a barrier and would spin forever if this shard just
+    // left, so keep pairing with them: finish the round we broke out of,
+    // then publish "no work" each round until the reduction — which now
+    // sees abort_ — raises the done flag for everyone.
+    record_worker_error(std::current_exception());
+    shard_min_[shard].store(Simulator::kNoPending, std::memory_order_relaxed);
+    if (owe_close) barrier(s, /*reduce=*/false, limit);
+    while (!done_.load(std::memory_order_relaxed)) {
+      shard_min_[shard].store(Simulator::kNoPending, std::memory_order_relaxed);
+      barrier(s, /*reduce=*/true, limit);
+      if (done_.load(std::memory_order_relaxed)) break;
+      barrier(s, /*reduce=*/false, limit);
+    }
   }
-  // Nothing at or before limit remains anywhere; advance the clock.
-  s.sim.run_until(limit);
   tls_shard_ = nullptr;
 }
 
@@ -360,11 +386,32 @@ void ParallelSimulator::run_inline(SimTime limit) {
   tls_shard_ = nullptr;
 }
 
+void ParallelSimulator::record_worker_error(std::exception_ptr err) {
+  abort_.store(true, std::memory_order_release);
+  util::MutexLock lock(error_mu_);
+  if (first_error_ == nullptr) first_error_ = std::move(err);
+}
+
+std::exception_ptr ParallelSimulator::take_worker_error() {
+  util::MutexLock lock(error_mu_);
+  std::exception_ptr err = std::move(first_error_);
+  first_error_ = nullptr;
+  return err;
+}
+
 void ParallelSimulator::run_until(SimTime limit) {
   running_ = true;
   done_.store(false, std::memory_order_relaxed);
+  abort_.store(false, std::memory_order_relaxed);
   if (!use_threads_) {
-    run_inline(limit);
+    try {
+      run_inline(limit);
+    } catch (...) {
+      tls_shard_ = nullptr;
+      now_ = limit;
+      running_ = false;
+      throw;
+    }
   } else {
     std::vector<std::thread> threads;
     threads.reserve(nshards_);
@@ -375,6 +422,7 @@ void ParallelSimulator::run_until(SimTime limit) {
   }
   now_ = limit;
   running_ = false;
+  if (std::exception_ptr err = take_worker_error()) std::rethrow_exception(err);
 }
 
 void ShardTaskHandle::cancel() {

@@ -2,11 +2,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <vector>
 
 #include "sim/simulator.h"
 #include "sim/task.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 #include "util/time.h"
 
 namespace netseer::sim {
@@ -127,7 +130,7 @@ class ParallelSimulator {
   /// shard may call it, targeting an actor it owns. Use send() for any
   /// cross-actor work.
   template <typename F>
-  ShardTaskHandle schedule(ActorId actor, SimTime when, F&& fn) {
+  [[nodiscard]] ShardTaskHandle schedule(ActorId actor, SimTime when, F&& fn) {
     return schedule_task(actor, when, Task(std::forward<F>(fn)));
   }
 
@@ -146,6 +149,14 @@ class ParallelSimulator {
   /// shard's clock reads `limit` and later work stays queued. Spawns one
   /// thread per shard (unless use_threads is false) and joins them
   /// before returning. Callable repeatedly with increasing limits.
+  ///
+  /// An exception escaping an actor callback aborts the run: the
+  /// erroring shard keeps pairing with its peers' barriers (so nobody
+  /// deadlocks mid-protocol), the next window reduction raises the done
+  /// flag for everyone, and after every worker joined the FIRST recorded
+  /// exception is rethrown here. The engine's queues survive, but a
+  /// window was cut short — treat the engine as tainted and rebuild it
+  /// rather than resuming.
   void run_until(SimTime limit);
 
   /// Virtual time every shard has reached (== the last run_until limit).
@@ -162,11 +173,17 @@ class ParallelSimulator {
   friend class ShardTaskHandle;
   struct Shard;
 
-  ShardTaskHandle schedule_task(ActorId actor, SimTime when, Task fn);
+  [[nodiscard]] ShardTaskHandle schedule_task(ActorId actor, SimTime when, Task fn);
   void send_task(ActorId from, ActorId to, SimTime when, Task fn);
 
   void worker(std::uint32_t shard, SimTime limit);
   void run_inline(SimTime limit);
+  /// Record a worker's exception (first one wins) and trip the abort
+  /// flag that short-circuits the next window reduction.
+  void record_worker_error(std::exception_ptr err) NETSEER_EXCLUDES(error_mu_);
+  /// Steal the recorded exception, if any (clears it). Called once per
+  /// run_until, after the join.
+  [[nodiscard]] std::exception_ptr take_worker_error() NETSEER_EXCLUDES(error_mu_);
   /// Two-phase barrier; when `reduce` is set the last arriver folds the
   /// published shard minima into the next window (or the done flag).
   void barrier(Shard& me, bool reduce, SimTime limit);
@@ -201,6 +218,11 @@ class ParallelSimulator {
   std::unique_ptr<std::atomic<SimTime>[]> shard_min_;
   std::atomic<SimTime> window_end_{0};
   std::atomic<bool> done_{false};
+
+  // Worker failure channel (see run_until).
+  std::atomic<bool> abort_{false};
+  util::Mutex error_mu_;
+  std::exception_ptr first_error_ NETSEER_GUARDED_BY(error_mu_);
 };
 
 }  // namespace netseer::sim

@@ -86,13 +86,13 @@ class Simulator {
   /// `fn` is any void() callable; it is stored as a sim::Task built in
   /// place in the slab cell (deduced so the capture never moves twice).
   template <typename F>
-  TaskHandle schedule_at(SimTime when, F&& fn) {
+  [[nodiscard]] TaskHandle schedule_at(SimTime when, F&& fn) {
     return schedule_task(when, std::forward<F>(fn), /*oneshot=*/true, 0);
   }
 
   /// Schedule `fn` `delay` after now.
   template <typename F>
-  TaskHandle schedule_after(SimDuration delay, F&& fn) {
+  [[nodiscard]] TaskHandle schedule_after(SimDuration delay, F&& fn) {
     return schedule_task(now_ + (delay < 0 ? 0 : delay), std::forward<F>(fn), /*oneshot=*/true,
                          0);
   }
@@ -102,7 +102,7 @@ class Simulator {
   /// to 1 ns (a zero-interval periodic used to leak a forever-active
   /// handle that never fired again).
   template <typename F>
-  TaskHandle schedule_every(SimDuration interval, F&& fn) {
+  [[nodiscard]] TaskHandle schedule_every(SimDuration interval, F&& fn) {
     if (interval < 1) interval = 1;
     return schedule_task(now_ + interval, std::forward<F>(fn), /*oneshot=*/false, interval);
   }
@@ -202,7 +202,8 @@ class Simulator {
   }
 
   template <typename F>
-  TaskHandle schedule_task(SimTime when, F&& fn, bool oneshot, SimDuration interval) {
+  [[nodiscard]] TaskHandle schedule_task(SimTime when, F&& fn, bool oneshot,
+                                         SimDuration interval) {
     const std::uint32_t slot = acquire_slot();
     Slot& cell = slot_ref(slot);
     cell.fn = std::forward<F>(fn);  // in-place Task construction
@@ -212,7 +213,7 @@ class Simulator {
     return enqueue_slot(when, slot);
   }
 
-  TaskHandle enqueue_slot(SimTime when, std::uint32_t slot);
+  [[nodiscard]] TaskHandle enqueue_slot(SimTime when, std::uint32_t slot);
   std::uint32_t acquire_slot();
   void release_slot(std::uint32_t index);
 

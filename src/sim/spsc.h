@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "mc/shim.h"
+#include "util/annotations.h"
 
 namespace netseer::sim {
 
@@ -49,7 +50,7 @@ class SpscRing {
   }
 
   /// Producer side. Returns false (value untouched) when the ring is full.
-  [[nodiscard]] bool try_push(T& value) {
+  [[nodiscard]] NETSEER_HOT bool try_push(T& value) {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     if (tail - head_.load(std::memory_order_acquire) == slots_.size()) return false;
     NETSEER_MC_WRITE(&slots_[tail & mask_], "SpscRing::slots_[tail]");
@@ -60,7 +61,7 @@ class SpscRing {
 
   /// Consumer side. Returns false when the ring is empty. The drained
   /// slot is reset so pooled captures are not pinned by the ring.
-  [[nodiscard]] bool try_pop(T& out) {
+  [[nodiscard]] NETSEER_HOT bool try_pop(T& out) {
     const std::size_t head = head_.load(std::memory_order_relaxed);
     if (tail_.load(std::memory_order_acquire) == head) return false;
     NETSEER_MC_WRITE(&slots_[head & mask_], "SpscRing::slots_[head]");

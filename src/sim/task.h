@@ -7,6 +7,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "util/annotations.h"
+
 namespace netseer::sim {
 
 /// Move-only callable with small-buffer optimization, the scheduling
@@ -56,13 +58,13 @@ class Task {
   Task& operator=(const Task&) = delete;
   ~Task() { reset(); }
 
-  void operator()() { ops_->invoke(storage_); }
+  NETSEER_HOT void operator()() { ops_->invoke(storage_); }
 
   [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
   /// The capture spilled to the heap (too big / overaligned / throwing move).
   [[nodiscard]] bool on_heap() const noexcept { return ops_ != nullptr && ops_->heap; }
 
-  void reset() noexcept {
+  NETSEER_HOT void reset() noexcept {
     if (ops_ != nullptr) {
       // destroy is null for trivially-destructible inline captures — the
       // common timer-lambda case — turning the per-event teardown into a
@@ -80,14 +82,16 @@ class Task {
     bool heap;
   };
 
-  void move_from(Task& other) noexcept {
+  NETSEER_HOT void move_from(Task& other) noexcept {
     ops_ = other.ops_;
     if (ops_ != nullptr) ops_->relocate(storage_, other.storage_);
     other.ops_ = nullptr;
   }
 
+  // ALLOW_INIT: the oversized-capture heap spill below is the documented
+  // fallback path; on_heap() surfaces it in telemetry instead of the lint.
   template <typename F>
-  void construct(F&& fn) {
+  NETSEER_HOT_ALLOW_INIT void construct(F&& fn) {
     using Fn = std::decay_t<F>;
     if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
                   std::is_nothrow_move_constructible_v<Fn>) {

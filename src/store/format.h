@@ -15,6 +15,7 @@
 
 #include "backend/event_store.h"
 #include "core/event.h"
+#include "util/annotations.h"
 #include "util/hash.h"
 #include "util/ids.h"
 #include "util/time.h"
@@ -122,7 +123,7 @@ inline void encode_row_to(std::byte* out, const backend::StoredEvent& stored) {
 /// Flush a stdio stream all the way to stable storage (fflush + fsync),
 /// not just to the OS page cache. Durability acknowledgements (WAL
 /// sync(), segment seals) go through this.
-[[nodiscard]] inline bool sync_file(std::FILE* f) {
+[[nodiscard]] NETSEER_BLOCKING inline bool sync_file(std::FILE* f) {
   if (std::fflush(f) != 0) return false;
 #if defined(_WIN32)
   return true;  // best effort: no fsync equivalent through stdio here
@@ -133,7 +134,7 @@ inline void encode_row_to(std::byte* out, const backend::StoredEvent& stored) {
 
 /// fsync a directory so file creations/renames inside it are themselves
 /// durable (a renamed segment is not safe until its dirent is).
-inline void sync_dir(const std::string& dir) {
+NETSEER_BLOCKING inline void sync_dir(const std::string& dir) {
 #if !defined(_WIN32)
   const int fd = ::open(dir.c_str(), O_RDONLY);
   if (fd >= 0) {

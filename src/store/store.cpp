@@ -421,7 +421,9 @@ void FlowEventStore::maintain() {
 void FlowEventStore::checkpoint() {
   flush();
   seal_active();
-  sync();
+  // A dead WAL still lets checkpoint persist sealed segments; the
+  // durable watermark simply stops advancing.
+  (void)sync();
   util::MutexLock lock(maint_mu_);
   persist_segments_locked();
   compact_locked();

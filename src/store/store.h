@@ -14,6 +14,7 @@
 #include "sim/simulator.h"
 #include "store/segment.h"
 #include "store/wal.h"
+#include "util/annotations.h"
 #include "util/thread_annotations.h"
 
 namespace netseer::store {
@@ -210,8 +211,8 @@ class QueryCursor {
 /// of scanning. Drop-in query-compatible with backend::EventStore.
 class FlowEventStore final : public backend::EventSink {
  public:
-  explicit FlowEventStore(StoreOptions options = {});
-  ~FlowEventStore() override;
+  NETSEER_BLOCKING explicit FlowEventStore(StoreOptions options = {});
+  NETSEER_BLOCKING ~FlowEventStore() override;
 
   FlowEventStore(const FlowEventStore&) = delete;
   FlowEventStore& operator=(const FlowEventStore&) = delete;
@@ -228,7 +229,7 @@ class FlowEventStore final : public backend::EventSink {
   /// flush() plus a blocking wait on the durable watermark: everything
   /// appended so far is acknowledged durable on return (in-memory
   /// stores trivially return true). False once the WAL is dead.
-  bool sync();
+  [[nodiscard]] NETSEER_BLOCKING bool sync();
 
   /// Highest LSN known durable: the group-commit watermark, sealed
   /// durable segments, or explicit syncs — whichever is furthest.
@@ -246,22 +247,23 @@ class FlowEventStore final : public backend::EventSink {
 
   /// Merge the oldest segments while over the compaction threshold;
   /// returns the number of merges performed.
-  std::size_t compact() NETSEER_EXCLUDES(maint_mu_);
+  NETSEER_BLOCKING std::size_t compact() NETSEER_EXCLUDES(maint_mu_);
 
   /// Enforce the retention budget; returns segments evicted.
-  std::size_t enforce_retention() NETSEER_EXCLUDES(maint_mu_);
+  NETSEER_BLOCKING std::size_t enforce_retention() NETSEER_EXCLUDES(maint_mu_);
 
   /// One background maintenance round: compaction, retention, WAL GC.
-  void maintain() NETSEER_EXCLUDES(maint_mu_);
+  NETSEER_BLOCKING void maintain() NETSEER_EXCLUDES(maint_mu_);
 
   /// Clean shutdown / `netseer_store recover`: flush, seal, sync, and
   /// garbage-collect every WAL file made obsolete by sealed segments.
-  void checkpoint() NETSEER_EXCLUDES(maint_mu_);
+  NETSEER_BLOCKING void checkpoint() NETSEER_EXCLUDES(maint_mu_);
 
   /// Schedule maintain() every `interval` on `sim`. Cancel the returned
   /// handle before draining the simulation (a periodic task keeps the
   /// event queue alive).
-  sim::TaskHandle start_maintenance(sim::Simulator& sim, util::SimDuration interval);
+  [[nodiscard]] sim::TaskHandle start_maintenance(sim::Simulator& sim,
+                                                  util::SimDuration interval);
 
   // ---- Query -----------------------------------------------------------
   /// The unified query surface: build an EventQuery (aggregate or
@@ -323,22 +325,22 @@ class FlowEventStore final : public backend::EventSink {
   };
 
   void flush_shard(Shard& shard);
-  void recover_from_dir() NETSEER_REQUIRES(maint_mu_);
+  NETSEER_BLOCKING void recover_from_dir() NETSEER_REQUIRES(maint_mu_);
   /// Save memory-only sealed segments to disk (full fsync discipline);
   /// returns segments persisted. Called from maintain()/checkpoint() so
   /// segment-file creation stays off the seal (ingest) path. Segments
   /// on disk are therefore always fully durable, which is what keeps
   /// recovery and the WAL-GC contiguity walk unchanged.
-  std::size_t persist_segments_locked() NETSEER_REQUIRES(maint_mu_);
+  NETSEER_BLOCKING std::size_t persist_segments_locked() NETSEER_REQUIRES(maint_mu_);
 
   // The _locked split of the maintenance entry points: the public
   // methods take maint_mu_ and delegate here, and composite rounds
   // (maintain, checkpoint) call these directly so the whole round runs
   // under one acquisition of the non-recursive mutex.
-  std::size_t compact_locked() NETSEER_REQUIRES(maint_mu_);
-  std::size_t enforce_retention_locked() NETSEER_REQUIRES(maint_mu_);
+  NETSEER_BLOCKING std::size_t compact_locked() NETSEER_REQUIRES(maint_mu_);
+  NETSEER_BLOCKING std::size_t enforce_retention_locked() NETSEER_REQUIRES(maint_mu_);
   /// Delete WAL files fully covered by sealed durable segments.
-  void wal_gc_locked() NETSEER_REQUIRES(maint_mu_);
+  NETSEER_BLOCKING void wal_gc_locked() NETSEER_REQUIRES(maint_mu_);
   /// Watermark for WAL GC: max LSN sealed into *durable* segments.
   [[nodiscard]] std::uint64_t sealed_durable_watermark_locked() const
       NETSEER_REQUIRES(maint_mu_);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "store/format.h"
+#include "util/annotations.h"
 #include "util/thread_annotations.h"
 
 namespace netseer::store {
@@ -76,8 +77,9 @@ class WalWriter {
   };
 
   WalWriter() = default;
-  explicit WalWriter(const Options& options, std::uint32_t first_file_index = 1);
-  ~WalWriter();
+  NETSEER_BLOCKING explicit WalWriter(const Options& options,
+                                      std::uint32_t first_file_index = 1);
+  NETSEER_BLOCKING ~WalWriter();
 
   WalWriter(const WalWriter&) = delete;
   WalWriter& operator=(const WalWriter&) = delete;
@@ -89,17 +91,19 @@ class WalWriter {
   /// and append it. Returns false once the writer is dead (fault budget
   /// exhausted or an I/O error), in which case nothing more will reach
   /// disk — the store keeps running in memory, counting the failure.
-  bool append(std::span<const Row> rows) NETSEER_EXCLUDES(mu_);
+  [[nodiscard]] NETSEER_BLOCKING bool append(std::span<const Row> rows)
+      NETSEER_EXCLUDES(mu_);
 
   /// Flush buffered bytes and fsync them (file, plus its directory entry
   /// the first time after a rotation). Rows appended before a successful
   /// sync() are the store's acknowledged (durable) set.
-  bool sync() NETSEER_EXCLUDES(mu_);
+  [[nodiscard]] NETSEER_BLOCKING bool sync() NETSEER_EXCLUDES(mu_);
 
   /// Delete every closed WAL file whose rows are all at or below
   /// `sealed_watermark`, rotating away from the current file first when
   /// everything in it is covered too. Returns files deleted.
-  std::size_t remove_obsolete(std::uint64_t sealed_watermark) NETSEER_EXCLUDES(mu_);
+  NETSEER_BLOCKING std::size_t remove_obsolete(std::uint64_t sealed_watermark)
+      NETSEER_EXCLUDES(mu_);
 
   /// Fault injection: allow only `budget` more bytes to reach disk.
   void fail_after_bytes(std::uint64_t budget) NETSEER_EXCLUDES(mu_) {
@@ -145,12 +149,14 @@ class WalWriter {
     bool open = false;
   };
 
-  bool open_next_file() NETSEER_REQUIRES(mu_);
-  void close_current() NETSEER_REQUIRES(mu_);
+  NETSEER_BLOCKING bool open_next_file() NETSEER_REQUIRES(mu_);
+  NETSEER_BLOCKING void close_current() NETSEER_REQUIRES(mu_);
   /// Frame up to kWalMaxRecordRows rows as one record (append's unit).
-  bool append_record(std::span<const Row> rows) NETSEER_REQUIRES(mu_);
+  [[nodiscard]] NETSEER_BLOCKING bool append_record(std::span<const Row> rows)
+      NETSEER_REQUIRES(mu_);
   /// Write through the fault gate; flips dead_ when the budget runs out.
-  bool write_raw(const std::byte* data, std::size_t n) NETSEER_REQUIRES(mu_);
+  NETSEER_BLOCKING bool write_raw(const std::byte* data, std::size_t n)
+      NETSEER_REQUIRES(mu_);
 
   Options options_;  // immutable after construction: read lock-free
 

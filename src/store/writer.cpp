@@ -85,7 +85,7 @@ std::size_t GroupCommitWriter::drain_available() {
     batch.clear();
     (void)recycle_.try_push(batch);  // full recycle ring: just drop it
     appended_batches_.fetch_add(1, std::memory_order_release);
-    if (sync_every_batch_) commit_group(1);
+    if (sync_every_batch_) (void)commit_group(1);
   }
   return drained;
 }
@@ -126,7 +126,7 @@ void GroupCommitWriter::run() {
     // and whatever accumulates during the fsync below becomes the next
     // commit group — that is the whole amortization.
     const std::size_t drained = drain_available();
-    if ((drained > 0 && !sync_every_batch_) || sync_pending()) commit_group(drained);
+    if ((drained > 0 && !sync_every_batch_) || sync_pending()) (void)commit_group(drained);
     {
       util::CondMutexLock lock(mu_);
       state_cv_.notify_all();

@@ -8,6 +8,7 @@
 #include "sim/spsc.h"
 #include "store/format.h"
 #include "store/wal.h"
+#include "util/annotations.h"
 #include "util/sync.h"
 #include "util/thread_annotations.h"
 
@@ -95,7 +96,7 @@ class GroupCommitWriter {
   /// Drain everything currently in the ring; returns batches processed.
   std::size_t drain_available();
   /// fsync and publish the watermark; false once the WAL is dead.
-  bool commit_group(std::size_t group_batches);
+  [[nodiscard]] NETSEER_BLOCKING bool commit_group(std::size_t group_batches);
   [[nodiscard]] bool sync_pending() const {
     return sync_goal_.load(std::memory_order_acquire) >
            watermark_.load(std::memory_order_relaxed);

@@ -7,6 +7,7 @@
 #include <string>
 #include <string_view>
 
+#include "util/annotations.h"
 #include "util/ids.h"
 #include "util/stats.h"
 #include "util/thread_annotations.h"
@@ -17,7 +18,7 @@ namespace netseer::telemetry {
 /// hot paths once the reference is held.
 class Counter {
  public:
-  void add(std::uint64_t n = 1) { value_ += n; }
+  NETSEER_HOT void add(std::uint64_t n = 1) { value_ += n; }
   [[nodiscard]] std::uint64_t value() const { return value_; }
 
  private:
@@ -28,14 +29,14 @@ class Counter {
 /// high-water marks survive snapshotting after the level drains.
 class Gauge {
  public:
-  void set(std::int64_t v) {
+  NETSEER_HOT void set(std::int64_t v) {
     value_ = v;
     if (v > peak_) peak_ = v;
   }
-  void add(std::int64_t delta) { set(value_ + delta); }
+  NETSEER_HOT void add(std::int64_t delta) { set(value_ + delta); }
   /// Raise the peak (and level) only if `v` exceeds the current peak —
   /// the merge operation for sampled high-water marks.
-  void update_max(std::int64_t v) {
+  NETSEER_HOT void update_max(std::int64_t v) {
     if (v > value_) value_ = v;
     if (v > peak_) peak_ = v;
   }
@@ -56,7 +57,7 @@ class Histogram {
  public:
   static constexpr std::size_t kBuckets = 64;
 
-  void record(double v) {
+  NETSEER_HOT void record(double v) {
     summary_.add(v);
     ++counts_[bucket_of(v)];
   }

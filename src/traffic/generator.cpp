@@ -15,14 +15,14 @@ FlowGenerator::FlowGenerator(net::Host& host, std::vector<packet::Ipv4Addr> dest
 
 void FlowGenerator::start() {
   if (destinations_.empty() || mean_interarrival_ns_ <= 0.0) return;
-  host_.simulator().schedule_at(config_.start, [this] { schedule_next_arrival(); });
+  (void)host_.simulator().schedule_at(config_.start, [this] { schedule_next_arrival(); });
 }
 
 void FlowGenerator::schedule_next_arrival() {
   const auto gap = static_cast<util::SimDuration>(rng_.exponential(mean_interarrival_ns_));
   const util::SimTime when = host_.simulator().now() + gap;
   if (when >= config_.stop) return;
-  host_.simulator().schedule_at(when, [this] {
+  (void)host_.simulator().schedule_at(when, [this] {
     start_flow();
     schedule_next_arrival();
   });
@@ -55,7 +55,7 @@ void FlowGenerator::send_packet(packet::FlowKey flow, std::uint64_t remaining_by
     return;
   }
   const util::SimDuration gap = config_.flow_rate.serialization_delay(payload);
-  host_.simulator().schedule_after(gap, [this, flow, rest = remaining_bytes - payload] {
+  (void)host_.simulator().schedule_after(gap, [this, flow, rest = remaining_bytes - payload] {
     send_packet(flow, rest);
   });
 }
@@ -66,7 +66,7 @@ void launch_incast(std::vector<net::Host*> senders, packet::Ipv4Addr receiver,
   for (std::size_t i = 0; i < senders.size(); ++i) {
     net::Host* sender = senders[i];
     const auto sport = static_cast<std::uint16_t>(base_port + i);
-    sender->simulator().schedule_at(when, [sender, receiver, bytes_per_sender, packet_payload,
+    (void)sender->simulator().schedule_at(when, [sender, receiver, bytes_per_sender, packet_payload,
                                            sport] {
       packet::FlowKey flow{sender->addr(), receiver,
                            static_cast<std::uint8_t>(packet::IpProto::kTcp), sport, 80};

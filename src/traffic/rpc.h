@@ -51,7 +51,7 @@ class RpcServer final : public net::HostApp {
     const std::uint32_t bytes = config_.response_bytes;
     // Segment the response at the MTU; PSH marks the final segment so the
     // client knows the RPC completed.
-    host.simulator().schedule_after(delay, [&host, reply_flow, rpc_id, bytes] {
+    (void)host.simulator().schedule_after(delay, [&host, reply_flow, rpc_id, bytes] {
       constexpr std::uint32_t kMss = 1400;
       std::uint32_t remaining = bytes;
       while (remaining > 0) {
@@ -111,7 +111,7 @@ class RpcClient final : public net::HostApp {
       : host_(host), config_(config), rng_(rng) {}
 
   void start() {
-    host_.simulator().schedule_at(config_.start, [this] { issue(); });
+    (void)host_.simulator().schedule_at(config_.start, [this] { issue(); });
   }
 
   void on_receive(net::Host& host, const packet::Packet& pkt) override {
@@ -147,7 +147,7 @@ class RpcClient final : public net::HostApp {
     outstanding_[id] = now;
     host_.send(std::move(request));
 
-    host_.simulator().schedule_after(config_.timeout, [this, id] {
+    (void)host_.simulator().schedule_after(config_.timeout, [this, id] {
       const auto it = outstanding_.find(id);
       if (it == outstanding_.end()) return;
       records_.push_back(Record{id, it->second, -1});
@@ -158,7 +158,7 @@ class RpcClient final : public net::HostApp {
     // phase-locking with the prober.
     const auto gap = static_cast<util::SimDuration>(
         rng_.exponential(static_cast<double>(config_.interval)));
-    host_.simulator().schedule_after(std::max<util::SimDuration>(gap, 1000), [this] { issue(); });
+    (void)host_.simulator().schedule_after(std::max<util::SimDuration>(gap, 1000), [this] { issue(); });
   }
 
   net::Host& host_;

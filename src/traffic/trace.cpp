@@ -76,7 +76,7 @@ std::size_t TraceReplayer::replay(const std::vector<TraceRecord>& records) {
       continue;
     }
     net::Host& host = **it;
-    host.simulator().schedule_at(record.start, [this, &host, record] {
+    (void)host.simulator().schedule_at(record.start, [this, &host, record] {
       send_flow(host, record);
     });
     ++scheduled;
@@ -100,7 +100,7 @@ void pump_flow(net::Host& host, const std::shared_ptr<FlowState>& state) {
   host.send(packet::make_tcp(state->flow, payload));
   state->remaining -= payload;
   if (state->remaining > 0) {
-    host.simulator().schedule_after(state->options.flow_rate.serialization_delay(payload),
+    (void)host.simulator().schedule_after(state->options.flow_rate.serialization_delay(payload),
                                     [&host, state] { pump_flow(host, state); });
   }
 }

@@ -57,7 +57,7 @@ class TokenBucket {
 
   /// Consume `bytes` at time `now` if enough credit is available.
   /// Returns true when admitted.
-  bool try_consume(SimTime now, std::int64_t bytes) {
+  [[nodiscard]] bool try_consume(SimTime now, std::int64_t bytes) {
     refill(now);
     if (tokens_ >= bytes) {
       tokens_ -= bytes;

@@ -332,7 +332,7 @@ TEST(ClosedLoop, TcpRetransmissionsExplainedByBackendEvents) {
   sender.start();
   // Heal once the transfer is mid-flight; TCP's own retransmissions
   // provide the subsequent packets that expose trailing gaps.
-  rig.net.simulator().schedule_at(rig.net.simulator().now() + util::milliseconds(2),
+  (void)rig.net.simulator().schedule_at(rig.net.simulator().now() + util::milliseconds(2),
                                   [&rig] { rig.s1_to_s2->set_fault_model({}); });
   rig.net.simulator().run_until(util::seconds(5));
   rig.finish();

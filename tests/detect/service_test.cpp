@@ -33,7 +33,7 @@ TEST(DetectServiceTest, PumpRaisesAlertOnDropBurst) {
     fs.add(drop_event(t), t);
   }
   fs.flush();
-  fs.sync();
+  (void)fs.sync();
 
   DetectService service(fs);
   EXPECT_GT(service.pump(), 0u);
@@ -60,7 +60,7 @@ TEST(DetectServiceTest, ConstantRateStreamRaisesZeroAlertsAtAnyWindowSize) {
       fs.add(drop_event(t), t);
     }
     fs.flush();
-    fs.sync();
+    (void)fs.sync();
 
     DetectOptions options;
     options.rules.window = window;
@@ -126,7 +126,7 @@ TEST(DetectServiceTest, RestartResumesExactlyOnce) {
     fs.add(drop_event(t), t);
   }
   fs.flush();
-  fs.sync();
+  (void)fs.sync();
   const auto first_batch = fs.durable_lsn();
 
   DetectOptions options;
@@ -145,7 +145,7 @@ TEST(DetectServiceTest, RestartResumesExactlyOnce) {
   // the future so it cannot extend the old burst's windows.
   fs.add(drop_event(util::milliseconds(50), 1, 5000), util::milliseconds(50));
   fs.flush();
-  fs.sync();
+  (void)fs.sync();
 
   DetectService restarted(fs, options);
   EXPECT_TRUE(restarted.stats().resumed);
@@ -165,13 +165,13 @@ TEST(DetectServiceTest, InlineSimulatorDriverPumps) {
   DetectService service(fs);
   auto handle = service.start(sim, util::microseconds(500));
   for (util::SimTime t = 0; t < util::milliseconds(2); t += util::microseconds(20)) {
-    sim.schedule_at(t, [&fs, t] { fs.add(drop_event(t), t); });
+    (void)sim.schedule_at(t, [&fs, t] { fs.add(drop_event(t), t); });
   }
   sim.run_until(util::milliseconds(3));
   handle.cancel();
   sim.run();
   fs.flush();
-  fs.sync();
+  (void)fs.sync();
   service.pump();
   service.finish();
   EXPECT_GE(service.alerts().stats().raised, 1u);

@@ -1,0 +1,39 @@
+// Clean fixture: hot paths fenced with the documented escape hatches.
+// No LINT-EXPECT markers, so --check-expectations demands zero findings —
+// this is the regression gate for every suppression mechanism at once.
+#include <vector>
+
+#include "util/annotations.h"
+
+namespace fixture {
+
+class Pool {
+ public:
+  NETSEER_HOT int* acquire() {
+    if (!free_.empty()) {
+      int* slot = free_.back();
+      free_.pop_back();
+      return slot;
+    }
+    return materialize_slot();
+  }
+
+  // Cold path carved out of the hot function: growth happens here, behind
+  // the ALLOW_INIT escape hatch, never on the steady-state path.
+  NETSEER_HOT_ALLOW_INIT int* materialize_slot() {
+    chunks_.push_back(new int[64]);
+    return chunks_.back();
+  }
+
+  NETSEER_HOT void release(int* slot) {
+    // NETSEER_LINT_ALLOW(hot-alloc): free-list push reuses steady-state
+    // capacity; growth is bounded by the in-flight population.
+    free_.push_back(slot);
+  }
+
+ private:
+  std::vector<int*> chunks_;
+  std::vector<int*> free_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// hot-alloc fixture: direct allocations inside NETSEER_HOT bodies. Each
+// LINT-EXPECT marks the exact line the pass must anchor its finding to.
+#include <cstring>
+#include <vector>
+
+#include "util/annotations.h"
+
+namespace fixture {
+
+struct Ring {
+  NETSEER_HOT void push(int v) {
+    slots_.push_back(v);  // LINT-EXPECT: hot-alloc
+  }
+
+  NETSEER_HOT int* scratch() {
+    return new int[16];  // LINT-EXPECT: hot-alloc
+  }
+
+  NETSEER_HOT char* dup(const char* s) {
+    return strdup(s);  // LINT-EXPECT: hot-alloc
+  }
+
+  // Not annotated: the same allocation draws no finding.
+  void push_cold(int v) { slots_.push_back(v); }
+
+  std::vector<int> slots_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// hot-alloc fixture: the allocation sits one helper down the same-TU call
+// graph; the finding anchors at the hot caller's call site with chain
+// evidence. NETSEER_HOT_ALLOW_INIT on the callee is the escape hatch.
+#include <string>
+
+#include "util/annotations.h"
+
+namespace fixture {
+
+inline std::string label(int v) { return std::to_string(v); }
+
+NETSEER_HOT inline void record(int v) {
+  label(v);  // LINT-EXPECT: hot-alloc
+}
+
+// Documented cold path: an ALLOW_INIT callee never taints its hot caller.
+NETSEER_HOT_ALLOW_INIT inline void warm_up(int v) { label(v); }
+
+NETSEER_HOT inline void record_warm(int v) { warm_up(v); }
+
+}  // namespace fixture

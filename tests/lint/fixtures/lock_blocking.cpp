@@ -1,0 +1,31 @@
+// lock-blocking fixture: a blocking primitive under a held lock must be
+// flagged unless the function is NETSEER_BLOCKING by design.
+#include <cstdio>
+
+#include "util/annotations.h"
+#include "util/sync.h"
+
+namespace fixture {
+
+class Journal {
+ public:
+  void flush_unsafe() {
+    util::MutexLock lock(mu_);
+    fflush(out_);  // LINT-EXPECT: lock-blocking
+  }
+
+  // Annotated: blocking under the lock is this function's contract.
+  NETSEER_BLOCKING void flush_by_design() {
+    util::MutexLock lock(mu_);
+    fflush(out_);
+  }
+
+  // No lock held: blocking is allowed (the caller's problem, not ours).
+  void flush_unlocked() { fflush(out_); }
+
+ private:
+  util::Mutex mu_;
+  std::FILE* out_ = nullptr;
+};
+
+}  // namespace fixture

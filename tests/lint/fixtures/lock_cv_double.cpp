@@ -1,0 +1,29 @@
+// lock-blocking fixture: a condition-variable wait may hold only its own
+// lock; a second lock held across the wait starves every other waiter.
+// Run with --pass lock-blocking (the raw std primitives here are the
+// raw-sync pass's business, exercised by raw_mutex.cpp instead).
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+class Pipe {
+ public:
+  void wait_ok() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock);
+  }
+
+  void wait_deadlock_prone() {
+    std::unique_lock<std::mutex> outer(reg_mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock);  // LINT-EXPECT: lock-blocking
+  }
+
+ private:
+  std::mutex mu_;
+  std::mutex reg_mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace fixture

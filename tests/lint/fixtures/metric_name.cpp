@@ -1,0 +1,14 @@
+// metric-name fixture: telemetry literals must follow [a-z][a-z0-9_]*
+// subsystems and lowercase dotted metric names.
+namespace fixture {
+
+template <typename Registry>
+void register_metrics(Registry& reg) {
+  reg.counter("Packet", "drops").add(1);        // LINT-EXPECT: metric-name
+  reg.counter("packet", "Drop.Count").add(1);   // LINT-EXPECT: metric-name
+  reg.gauge("packet", "queue..depth").set(0);   // LINT-EXPECT: metric-name
+  reg.histogram("packet", "lat_us", 64).record(1);
+  reg.counter("packet", "drops_total").add(1);
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// nodiscard fixture: status booleans (try_/save/load/sync/commit/...) and
+// resource-handle returns must be [[nodiscard]] in first-party code.
+#include <cstdint>
+
+namespace fixture {
+
+struct TaskHandle {
+  std::uint64_t id = 0;
+};
+
+class Wal {
+ public:
+  bool try_reserve(std::uint32_t bytes);  // LINT-EXPECT: nodiscard
+  bool sync();                            // LINT-EXPECT: nodiscard
+  [[nodiscard]] bool try_append(const char* rec, std::uint32_t len);
+  void clear();  // returns nothing: fine
+};
+
+// The attribute lives on the declaration; an out-of-line definition is
+// never re-flagged.
+inline bool Wal::sync() { return true; }
+
+TaskHandle schedule_probe();  // LINT-EXPECT: nodiscard
+
+}  // namespace fixture

@@ -176,7 +176,7 @@ TEST(SyslogUnit, CollectsAlertsWithTimestamps) {
   pdp::Switch sw(sim, 5, "sw", config);
   SyslogCollector syslog(sim);
   syslog.attach(sw);
-  sim.schedule_at(util::milliseconds(3), [&] {
+  (void)sim.schedule_at(util::milliseconds(3), [&] {
     sw.inject_hardware_fault(pdp::HardwareFault::kMmuFailure);
   });
   sim.run();

@@ -95,14 +95,14 @@ TEST(Harness, LargeFatTreeFullCoverage) {
   gen.flow_rate = util::BitRate::gbps(1);
   gen.stop = util::milliseconds(6);
   harness.add_workload(gen);
-  harness.simulator().schedule_at(util::milliseconds(2), [&tb] {
+  (void)harness.simulator().schedule_at(util::milliseconds(2), [&tb] {
     net::LinkFaultModel faults;
     faults.drop_prob = 0.01;
     tb.aggs[0]->link(static_cast<util::PortId>(tb.tors.size() / 6))->set_fault_model(faults);
     tb.tors[5]->routes().set_corrupted(
         packet::Ipv4Prefix{tb.hosts[5 * 3]->addr(), 32}, true);
   });
-  harness.simulator().schedule_at(util::milliseconds(5), [&tb] {
+  (void)harness.simulator().schedule_at(util::milliseconds(5), [&tb] {
     // Heal the link so trailing gaps resolve before settling.
     tb.aggs[0]->link(static_cast<util::PortId>(tb.tors.size() / 6))->set_fault_model({});
   });

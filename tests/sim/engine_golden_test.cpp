@@ -45,11 +45,11 @@ struct Churn {
       const SimTime at = sim.now() + static_cast<SimTime>(r % 97);
       for (std::uint32_t i = 0; i < 3; ++i) {
         const std::uint32_t next_id = id * 7919u + i;
-        sim.schedule_at(at, [this, next_id] { fire(next_id); });
+        (void)sim.schedule_at(at, [this, next_id] { fire(next_id); });
       }
     } else {
       const std::uint32_t next_id = id * 31u + 1;
-      sim.schedule_after(static_cast<SimTime>(r % 1024), [this, next_id] { fire(next_id); });
+      (void)sim.schedule_after(static_cast<SimTime>(r % 1024), [this, next_id] { fire(next_id); });
     }
     if ((r & 31u) == 1 && !periodics.empty()) {
       periodics.back().cancel();
@@ -62,7 +62,7 @@ struct Churn {
     budget = 20000;
     for (int i = 0; i < 16; ++i) {
       const auto id = static_cast<std::uint32_t>(i);
-      sim.schedule_at(static_cast<SimTime>(rnd() % 512), [this, id] { fire(id); });
+      (void)sim.schedule_at(static_cast<SimTime>(rnd() % 512), [this, id] { fire(id); });
     }
     for (int i = 0; i < 8; ++i) {
       const std::uint32_t id = 1000 + static_cast<std::uint32_t>(i);

@@ -35,12 +35,12 @@ TEST(EngineRegression, ScheduleBeforeStrandedClaimedBucketFiresFirst) {
   // never fire — exactly a paused TxPort re-armed between runs.
   Simulator sim;
   std::vector<int> order;
-  sim.schedule_at(33'000'000, [&] { order.push_back(1); });  // pause re-kick
+  (void)sim.schedule_at(33'000'000, [&] { order.push_back(1); });  // pause re-kick
   sim.run_until(10'000);
   EXPECT_TRUE(order.empty());
   EXPECT_EQ(sim.now(), 10'000);
 
-  sim.schedule_after(8'368, [&] { order.push_back(0); });  // tx completion
+  (void)sim.schedule_after(8'368, [&] { order.push_back(0); });  // tx completion
   sim.run_until(20'000);
   ASSERT_EQ(order.size(), 1u);
   EXPECT_EQ(order[0], 0);  // fired at 18'368, before the 33 ms timer
@@ -63,8 +63,8 @@ TEST(EngineRegression, StopInsideRunUntilLeavesNowAtStopTime) {
   // run_until limit, and must not be sticky across the next run.
   Simulator sim;
   bool late_ran = false;
-  sim.schedule_at(10, [&] { sim.stop(); });
-  sim.schedule_at(50, [&] { late_ran = true; });
+  (void)sim.schedule_at(10, [&] { sim.stop(); });
+  (void)sim.schedule_at(50, [&] { late_ran = true; });
   sim.run_until(100);
   EXPECT_EQ(sim.now(), 10);
   EXPECT_FALSE(late_ran);
@@ -80,7 +80,7 @@ TEST(EngineRegression, TaskCanCancelLaterTaskAtSameInstant) {
   Simulator sim;
   bool second_ran = false;
   TaskHandle second;
-  sim.schedule_at(5, [&] { second.cancel(); });
+  (void)sim.schedule_at(5, [&] { second.cancel(); });
   second = sim.schedule_at(5, [&] { second_ran = true; });
   sim.run();
   EXPECT_FALSE(second_ran);
@@ -94,7 +94,7 @@ TEST(EngineRegression, PeriodicCancelledFromSameInstantTaskDoesNotFire) {
   Simulator sim;
   int fires = 0;
   TaskHandle periodic;
-  sim.schedule_at(7, [&] { periodic.cancel(); });
+  (void)sim.schedule_at(7, [&] { periodic.cancel(); });
   periodic = sim.schedule_every(7, [&] { ++fires; });
   sim.run_until(50);
   EXPECT_EQ(fires, 0);
@@ -146,11 +146,11 @@ TEST(EngineRegression, RescheduleStormKeepsFifoWithinInstant) {
   // must not defer same-bucket appends to a later sweep.
   Simulator sim;
   std::vector<int> order;
-  sim.schedule_at(3, [&] {
+  (void)sim.schedule_at(3, [&] {
     order.push_back(0);
-    sim.schedule_at(3, [&] { order.push_back(2); });
+    (void)sim.schedule_at(3, [&] { order.push_back(2); });
   });
-  sim.schedule_at(3, [&] { order.push_back(1); });
+  (void)sim.schedule_at(3, [&] { order.push_back(1); });
   sim.run();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
   EXPECT_EQ(sim.now(), 3);

@@ -16,9 +16,9 @@ TEST(Simulator, StartsAtZero) {
 TEST(Simulator, RunsEventsInTimeOrder) {
   Simulator sim;
   std::vector<int> order;
-  sim.schedule_at(30, [&] { order.push_back(3); });
-  sim.schedule_at(10, [&] { order.push_back(1); });
-  sim.schedule_at(20, [&] { order.push_back(2); });
+  (void)sim.schedule_at(30, [&] { order.push_back(3); });
+  (void)sim.schedule_at(10, [&] { order.push_back(1); });
+  (void)sim.schedule_at(20, [&] { order.push_back(2); });
   sim.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
   EXPECT_EQ(sim.now(), 30);
@@ -27,9 +27,9 @@ TEST(Simulator, RunsEventsInTimeOrder) {
 TEST(Simulator, TiesRunInSchedulingOrder) {
   Simulator sim;
   std::vector<int> order;
-  sim.schedule_at(10, [&] { order.push_back(1); });
-  sim.schedule_at(10, [&] { order.push_back(2); });
-  sim.schedule_at(10, [&] { order.push_back(3); });
+  (void)sim.schedule_at(10, [&] { order.push_back(1); });
+  (void)sim.schedule_at(10, [&] { order.push_back(2); });
+  (void)sim.schedule_at(10, [&] { order.push_back(3); });
   sim.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
@@ -37,8 +37,8 @@ TEST(Simulator, TiesRunInSchedulingOrder) {
 TEST(Simulator, ScheduleAfterIsRelative) {
   Simulator sim;
   SimTime seen = -1;
-  sim.schedule_at(100, [&] {
-    sim.schedule_after(50, [&] { seen = sim.now(); });
+  (void)sim.schedule_at(100, [&] {
+    (void)sim.schedule_after(50, [&] { seen = sim.now(); });
   });
   sim.run();
   EXPECT_EQ(seen, 150);
@@ -47,8 +47,8 @@ TEST(Simulator, ScheduleAfterIsRelative) {
 TEST(Simulator, PastTimesClampToNow) {
   Simulator sim;
   SimTime seen = -1;
-  sim.schedule_at(100, [&] {
-    sim.schedule_at(10, [&] { seen = sim.now(); });
+  (void)sim.schedule_at(100, [&] {
+    (void)sim.schedule_at(10, [&] { seen = sim.now(); });
   });
   sim.run();
   EXPECT_EQ(seen, 100);
@@ -57,8 +57,8 @@ TEST(Simulator, PastTimesClampToNow) {
 TEST(Simulator, NegativeDelayClamps) {
   Simulator sim;
   SimTime seen = -1;
-  sim.schedule_at(100, [&] {
-    sim.schedule_after(-50, [&] { seen = sim.now(); });
+  (void)sim.schedule_at(100, [&] {
+    (void)sim.schedule_after(-50, [&] { seen = sim.now(); });
   });
   sim.run();
   EXPECT_EQ(seen, 100);
@@ -67,9 +67,9 @@ TEST(Simulator, NegativeDelayClamps) {
 TEST(Simulator, RunUntilStopsAtLimit) {
   Simulator sim;
   int fired = 0;
-  sim.schedule_at(10, [&] { ++fired; });
-  sim.schedule_at(20, [&] { ++fired; });
-  sim.schedule_at(30, [&] { ++fired; });
+  (void)sim.schedule_at(10, [&] { ++fired; });
+  (void)sim.schedule_at(20, [&] { ++fired; });
+  (void)sim.schedule_at(30, [&] { ++fired; });
   sim.run_until(20);
   EXPECT_EQ(fired, 2);
   EXPECT_EQ(sim.now(), 20);
@@ -92,11 +92,11 @@ TEST(Simulator, CancelPreventsExecution) {
 TEST(Simulator, StopHaltsRun) {
   Simulator sim;
   int fired = 0;
-  sim.schedule_at(10, [&] {
+  (void)sim.schedule_at(10, [&] {
     ++fired;
     sim.stop();
   });
-  sim.schedule_at(20, [&] { ++fired; });
+  (void)sim.schedule_at(20, [&] { ++fired; });
   sim.run();
   EXPECT_EQ(fired, 1);
   // Remaining event still queued; a new run picks it up.
@@ -107,7 +107,7 @@ TEST(Simulator, StopHaltsRun) {
 TEST(Simulator, PeriodicFiresRepeatedly) {
   Simulator sim;
   int fired = 0;
-  sim.schedule_every(10, [&] { ++fired; });
+  (void)sim.schedule_every(10, [&] { ++fired; });
   sim.run_until(55);
   EXPECT_EQ(fired, 5);  // t = 10,20,30,40,50
 }
@@ -116,7 +116,7 @@ TEST(Simulator, PeriodicCancelStops) {
   Simulator sim;
   int fired = 0;
   auto handle = sim.schedule_every(10, [&] { ++fired; });
-  sim.schedule_at(35, [&] { handle.cancel(); });
+  (void)sim.schedule_at(35, [&] { handle.cancel(); });
   sim.run_until(1000);
   EXPECT_EQ(fired, 3);
 }
@@ -134,7 +134,7 @@ TEST(Simulator, PeriodicCanCancelItself) {
 
 TEST(Simulator, EventsProcessedCounter) {
   Simulator sim;
-  for (int i = 0; i < 7; ++i) sim.schedule_at(i, [] {});
+  for (int i = 0; i < 7; ++i) (void)sim.schedule_at(i, [] {});
   sim.run();
   EXPECT_EQ(sim.events_processed(), 7u);
 }
@@ -143,9 +143,9 @@ TEST(Simulator, CascadedSchedulingDrains) {
   Simulator sim;
   int depth = 0;
   std::function<void()> chain = [&] {
-    if (++depth < 100) sim.schedule_after(1, chain);
+    if (++depth < 100) (void)sim.schedule_after(1, chain);
   };
-  sim.schedule_at(0, chain);
+  (void)sim.schedule_at(0, chain);
   sim.run();
   EXPECT_EQ(depth, 100);
   EXPECT_EQ(sim.now(), 99);

@@ -114,7 +114,7 @@ TEST(CollectSimParity, EngineGaugesMatchTheEngineCountersExactly) {
   // million schedules. Integer truncation and all.
   sim::Simulator sim;
   for (int i = 0; i < 1000; ++i) {
-    sim.schedule_at(i * 7, [] {});
+    (void)sim.schedule_at(i * 7, [] {});
   }
   sim.run();
   ASSERT_EQ(sim.events_processed(), 1000u);

@@ -83,7 +83,7 @@ TEST(Tcp, RecoversFromLossViaFastRetransmit) {
 TEST(Tcp, SurvivesTotalBlackholeWindow) {
   Rig rig;
   rig.sw->link(1)->set_up(false);
-  rig.net.simulator().schedule_at(util::milliseconds(30), [&] {
+  (void)rig.net.simulator().schedule_at(util::milliseconds(30), [&] {
     rig.sw->link(1)->set_up(true);
   });
   TcpSender sender(*rig.a, rig.b->addr(), 40002, 50);

@@ -1,0 +1,282 @@
+// AST-exact frontend for netseer_lint, compiled only under
+// -DNETSEER_LINT_CLANG=ON against clang-18 LibTooling. It replaces the
+// token-level fact extraction with a real parse: annotations come off
+// AnnotateAttr nodes, allocation evidence off CXXNewExpr/callee decls,
+// and lock scopes off the RAII guard variables' enclosing CompoundStmt.
+// Everything downstream (AnnotationDb, the five passes, suppression and
+// expectation handling) is shared with the token frontend, so the two
+// frontends must agree on the FileModel vocabulary — the name tables
+// below mirror model.cpp and any change must land in both.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/AST/Decl.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/AST/Stmt.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Frontend/ASTUnit.h"
+#include "clang/Tooling/CompilationDatabase.h"
+#include "clang/Tooling/Tooling.h"
+
+#include "model.h"
+
+namespace netseer::lint {
+namespace {
+
+// ---- name tables (keep in sync with model.cpp) -----------------------------
+
+bool is_lock_type(std::string_view s) {
+  return s.find("MutexLock") != std::string_view::npos ||
+         s.find("CondMutexLock") != std::string_view::npos ||
+         s.find("lock_guard") != std::string_view::npos ||
+         s.find("unique_lock") != std::string_view::npos ||
+         s.find("scoped_lock") != std::string_view::npos;
+}
+
+bool is_direct_alloc_fn(std::string_view s) {
+  return s == "malloc" || s == "calloc" || s == "realloc" || s == "aligned_alloc" ||
+         s == "strdup" || s == "make_unique" || s == "make_shared" || s == "to_string";
+}
+
+bool is_allocating_method(std::string_view s) {
+  return s == "push_back" || s == "emplace_back" || s == "emplace" || s == "try_emplace" ||
+         s == "insert" || s == "resize" || s == "reserve" || s == "append" ||
+         s == "assign" || s == "push_front";
+}
+
+bool is_blocking_fn(std::string_view qualified) {
+  static const char* const kBlocking[] = {
+      "fsync",       "fdatasync",  "fwrite", "fread",
+      "fflush",      "fopen",      "fclose", "system",
+      "write",       "read",       "open",   "close",
+      "std::this_thread::sleep_for", "std::this_thread::sleep_until",
+  };
+  for (const char* b : kBlocking) {
+    if (qualified == b) return true;
+  }
+  return qualified.rfind("std::filesystem::", 0) == 0;
+}
+
+bool is_cv_wait(std::string_view method) {
+  return method == "wait" || method == "wait_for" || method == "wait_until";
+}
+
+// ---- visitor ----------------------------------------------------------------
+
+class Extractor : public clang::RecursiveASTVisitor<Extractor> {
+ public:
+  Extractor(clang::ASTContext& ctx, FileModel* out) : ctx_(ctx), out_(out) {}
+
+  bool shouldVisitTemplateInstantiations() const { return false; }
+
+  bool VisitFunctionDecl(clang::FunctionDecl* fd) {
+    if (!in_main_file(fd->getLocation())) return true;
+
+    FunctionModel fn;
+    fn.qualified = fd->getQualifiedNameAsString();
+    fn.name = fd->getNameAsString();
+    fn.file = out_->path;
+    fn.line = line_of(fd->getLocation());
+    fn.is_definition = fd->doesThisDeclarationHaveABody();
+    fn.has_explicit_qualifier = fd->getQualifier() != nullptr;
+    if (!llvm::isa<clang::CXXConstructorDecl>(fd) && !llvm::isa<clang::CXXDestructorDecl>(fd)) {
+      fn.return_type = fd->getReturnType().getAsString();
+    }
+
+    for (const auto* attr : fd->specific_attrs<clang::AnnotateAttr>()) {
+      const llvm::StringRef a = attr->getAnnotation();
+      if (a == "netseer::hot") fn.hot = true;
+      if (a == "netseer::hot_allow_init") fn.allow_init = true;
+      if (a == "netseer::blocking") fn.blocking = true;
+    }
+    fn.nodiscard = fd->hasAttr<clang::WarnUnusedResultAttr>();
+    fn.requires_lock = fd->hasAttr<clang::RequiresCapabilityAttr>();
+
+    if (fn.is_definition) walk(fd->getBody(), /*locks=*/0, fn);
+    out_->functions.push_back(std::move(fn));
+    return true;
+  }
+
+  bool VisitFieldDecl(clang::FieldDecl* fld) {
+    record_raw_sync(fld->getType().getAsString(), fld->getLocation());
+    return true;
+  }
+
+  bool VisitVarDecl(clang::VarDecl* vd) {
+    if (vd->isLocalVarDeclOrParm()) return true;  // guards handled in walk()
+    record_raw_sync(vd->getType().getAsString(), vd->getLocation());
+    return true;
+  }
+
+ private:
+  [[nodiscard]] bool in_main_file(clang::SourceLocation loc) const {
+    return loc.isValid() && ctx_.getSourceManager().isWrittenInMainFile(loc);
+  }
+
+  [[nodiscard]] int line_of(clang::SourceLocation loc) const {
+    return static_cast<int>(ctx_.getSourceManager().getSpellingLineNumber(loc));
+  }
+
+  void record_raw_sync(const std::string& type, clang::SourceLocation loc) {
+    if (!in_main_file(loc)) return;
+    const int line = line_of(loc);
+    if (type.find("std::mutex") != std::string::npos ||
+        type.find("std::condition_variable") != std::string::npos ||
+        type.find("std::lock_guard") != std::string::npos) {
+      out_->raw_sync.push_back(RawSyncUse{type, line});
+    } else if (type.find("std::atomic") != std::string::npos) {
+      out_->raw_atomic.push_back(RawSyncUse{type, line});
+    }
+  }
+
+  /// Statement walk with a lock counter: a RAII guard declared inside a
+  /// CompoundStmt holds for that compound's remaining children, which is
+  /// exactly the scoping the passes assume.
+  void walk(const clang::Stmt* s, int locks, FunctionModel& fn) {
+    if (s == nullptr) return;
+    if (const auto* compound = llvm::dyn_cast<clang::CompoundStmt>(s)) {
+      int held = locks;
+      for (const clang::Stmt* child : compound->body()) {
+        walk(child, held, fn);
+        if (const auto* ds = llvm::dyn_cast<clang::DeclStmt>(child)) {
+          for (const clang::Decl* d : ds->decls()) {
+            const auto* vd = llvm::dyn_cast<clang::VarDecl>(d);
+            if (vd != nullptr && is_lock_type(vd->getType().getAsString())) ++held;
+          }
+        }
+      }
+      return;
+    }
+    if (const auto* nw = llvm::dyn_cast<clang::CXXNewExpr>(s)) {
+      if (nw->getNumPlacementArgs() == 0) {
+        fn.allocs.push_back(FunctionModel::Alloc{"operator new", line_of(nw->getBeginLoc())});
+      }
+    } else if (const auto* call = llvm::dyn_cast<clang::CallExpr>(s)) {
+      record_call(call, locks, fn);
+    }
+    for (const clang::Stmt* child : s->children()) walk(child, locks, fn);
+  }
+
+  void record_call(const clang::CallExpr* call, int locks, FunctionModel& fn) {
+    const clang::FunctionDecl* callee = call->getDirectCallee();
+    if (callee == nullptr) return;
+    const std::string name = callee->getNameAsString();
+    const std::string qualified = callee->getQualifiedNameAsString();
+    const int line = line_of(call->getBeginLoc());
+    const bool receiver = llvm::isa<clang::CXXMemberCallExpr>(call);
+
+    if (is_direct_alloc_fn(name)) {
+      fn.allocs.push_back(FunctionModel::Alloc{name, line});
+      return;
+    }
+    if (receiver && is_allocating_method(name)) {
+      fn.allocs.push_back(FunctionModel::Alloc{"." + name, line});
+      return;
+    }
+    if (receiver && is_cv_wait(name)) {
+      fn.blocking_ops.push_back(FunctionModel::BlockingOp{"." + name, line, locks,
+                                                          /*cv_wait=*/true});
+      return;
+    }
+    if (is_blocking_fn(qualified)) {
+      fn.blocking_ops.push_back(FunctionModel::BlockingOp{qualified + "()", line, locks,
+                                                          /*cv_wait=*/false});
+      return;
+    }
+    if (receiver && (name == "counter" || name == "gauge" || name == "histogram") &&
+        call->getNumArgs() >= 2) {
+      record_metric(call, name, line);
+    }
+    FunctionModel::Call rec;
+    rec.name = name;
+    rec.line = line;
+    rec.receiver = receiver;
+    rec.locks = locks;
+    fn.calls.push_back(std::move(rec));
+  }
+
+  void record_metric(const clang::CallExpr* call, const std::string& method, int line) {
+    MetricCall mc;
+    mc.method = method;
+    mc.line = line;
+    if (const auto* lit = string_arg(call->getArg(0))) {
+      mc.subsystem = lit->getString().str();
+      mc.subsystem_literal = true;
+    }
+    if (const auto* lit = string_arg(call->getArg(1))) {
+      mc.metric = lit->getString().str();
+      mc.metric_literal = true;
+    }
+    out_->metric_calls.push_back(std::move(mc));
+  }
+
+  [[nodiscard]] static const clang::StringLiteral* string_arg(const clang::Expr* e) {
+    return llvm::dyn_cast<clang::StringLiteral>(e->IgnoreParenImpCasts());
+  }
+
+  clang::ASTContext& ctx_;
+  FileModel* out_;
+};
+
+class Consumer : public clang::ASTConsumer {
+ public:
+  explicit Consumer(FileModel* out) : out_(out) {}
+  void HandleTranslationUnit(clang::ASTContext& ctx) override {
+    Extractor extractor(ctx, out_);
+    extractor.TraverseDecl(ctx.getTranslationUnitDecl());
+  }
+
+ private:
+  FileModel* out_;
+};
+
+class Action : public clang::ASTFrontendAction {
+ public:
+  explicit Action(FileModel* out) : out_(out) {}
+  std::unique_ptr<clang::ASTConsumer> CreateASTConsumer(clang::CompilerInstance&,
+                                                        llvm::StringRef) override {
+    return std::make_unique<Consumer>(out_);
+  }
+
+ private:
+  FileModel* out_;
+};
+
+class Factory : public clang::tooling::FrontendActionFactory {
+ public:
+  explicit Factory(FileModel* out) : out_(out) {}
+  std::unique_ptr<clang::FrontendAction> create() override {
+    return std::make_unique<Action>(out_);
+  }
+
+ private:
+  FileModel* out_;
+};
+
+}  // namespace
+
+bool refine_model_clang(FileModel* model, const std::vector<std::string>& extra_args) {
+  std::vector<std::string> args = {"-std=c++20", "-fsyntax-only", "-Wno-everything"};
+  args.insert(args.end(), extra_args.begin(), extra_args.end());
+  clang::tooling::FixedCompilationDatabase db(".", args);
+  clang::tooling::ClangTool tool(db, {model->path});
+
+  // Keep the comment-derived channels from the token frontend; replace
+  // every parsed fact.
+  model->functions.clear();
+  model->metric_calls.clear();
+  model->raw_sync.clear();
+  model->raw_atomic.clear();
+
+  Factory factory(model);
+  return tool.run(&factory) == 0;
+}
+
+}  // namespace netseer::lint

@@ -1,0 +1,256 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <cstdio>
+#include <utility>
+
+namespace netseer::lint {
+
+namespace {
+
+bool is_ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool is_ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+class Lexer {
+ public:
+  Lexer(const std::string& src, std::vector<Token>& tokens, std::vector<Comment>& comments)
+      : src_(src), tokens_(tokens), comments_(comments) {}
+
+  void run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        line_start_ = pos_;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == '#' && at_line_start()) {
+        preprocessor();
+        continue;
+      }
+      if (c == '"') {
+        string_literal();
+        continue;
+      }
+      if (c == '\'') {
+        char_literal();
+        continue;
+      }
+      if (c == 'R' && peek(1) == '"') {
+        raw_string();
+        continue;
+      }
+      if (is_ident_start(c)) {
+        identifier();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+        number();
+        continue;
+      }
+      punct();
+    }
+  }
+
+ private:
+  [[nodiscard]] char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  [[nodiscard]] bool at_line_start() const {
+    for (std::size_t i = line_start_; i < pos_; ++i) {
+      const char c = src_[i];
+      if (c != ' ' && c != '\t') return false;
+    }
+    return true;
+  }
+
+  void emit(TokKind kind, std::size_t begin, std::size_t end, int line) {
+    tokens_.push_back(Token{kind, std::string_view(src_).substr(begin, end - begin), line});
+  }
+
+  void advance_line_counting(std::size_t to) {
+    for (; pos_ < to; ++pos_) {
+      if (src_[pos_] == '\n') {
+        ++line_;
+        line_start_ = pos_ + 1;
+      }
+    }
+  }
+
+  void line_comment() {
+    const int line = line_;
+    const bool whole = at_line_start();
+    const std::size_t begin = pos_ + 2;
+    std::size_t end = src_.find('\n', begin);
+    if (end == std::string::npos) end = src_.size();
+    comments_.push_back(
+        Comment{line, whole, std::string_view(src_).substr(begin, end - begin)});
+    pos_ = end;
+  }
+
+  void block_comment() {
+    const int line = line_;
+    const bool whole = at_line_start();
+    const std::size_t begin = pos_ + 2;
+    std::size_t end = src_.find("*/", begin);
+    const std::size_t stop = end == std::string::npos ? src_.size() : end;
+    comments_.push_back(
+        Comment{line, whole, std::string_view(src_).substr(begin, stop - begin)});
+    advance_line_counting(stop);
+    pos_ = end == std::string::npos ? src_.size() : end + 2;
+  }
+
+  void preprocessor() {
+    const int line = line_;
+    const std::size_t begin = pos_;
+    // A directive spans to end-of-line, honoring backslash continuations
+    // and stopping short of a trailing // comment.
+    std::size_t end = pos_;
+    while (end < src_.size()) {
+      if (src_[end] == '\n') {
+        std::size_t back = end;
+        while (back > begin && (src_[back - 1] == ' ' || src_[back - 1] == '\t' ||
+                                src_[back - 1] == '\r')) {
+          --back;
+        }
+        if (back > begin && src_[back - 1] == '\\') {
+          ++end;
+          continue;
+        }
+        break;
+      }
+      if (src_[end] == '/' && end + 1 < src_.size() &&
+          (src_[end + 1] == '/' || src_[end + 1] == '*')) {
+        break;
+      }
+      ++end;
+    }
+    emit(TokKind::kPreproc, begin, end, line);
+    advance_line_counting(end);
+  }
+
+  void string_literal() {
+    const int line = line_;
+    const std::size_t begin = pos_;
+    ++pos_;
+    while (pos_ < src_.size() && src_[pos_] != '"' && src_[pos_] != '\n') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;
+      ++pos_;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '"') ++pos_;
+    emit(TokKind::kString, begin, pos_, line);
+  }
+
+  void char_literal() {
+    const int line = line_;
+    const std::size_t begin = pos_;
+    ++pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\'' && src_[pos_] != '\n') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;
+      ++pos_;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'') ++pos_;
+    emit(TokKind::kChar, begin, pos_, line);
+  }
+
+  void raw_string() {
+    const int line = line_;
+    const std::size_t begin = pos_;
+    std::size_t i = pos_ + 2;  // past R"
+    std::string delim;
+    while (i < src_.size() && src_[i] != '(') delim.push_back(src_[i++]);
+    const std::string close = ")" + delim + "\"";
+    std::size_t end = src_.find(close, i);
+    end = end == std::string::npos ? src_.size() : end + close.size();
+    advance_line_counting(end);
+    emit(TokKind::kString, begin, end, line);
+  }
+
+  void identifier() {
+    const int line = line_;
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && is_ident_char(src_[pos_])) ++pos_;
+    emit(TokKind::kIdent, begin, pos_, line);
+  }
+
+  void number() {
+    const int line = line_;
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (is_ident_char(c) || c == '\'' || c == '.') {
+        ++pos_;
+        continue;
+      }
+      // Exponent signs: 1e-9, 0x1p+3.
+      if ((c == '+' || c == '-') && pos_ > begin) {
+        const char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    emit(TokKind::kNumber, begin, pos_, line);
+  }
+
+  void punct() {
+    const int line = line_;
+    const std::size_t begin = pos_;
+    // Only the two-char operators the model layer matches on are fused;
+    // everything else is one token per char (the passes never need to
+    // distinguish, say, += from + =).
+    if ((src_[pos_] == ':' && peek(1) == ':') || (src_[pos_] == '-' && peek(1) == '>')) {
+      pos_ += 2;
+    } else {
+      ++pos_;
+    }
+    emit(TokKind::kPunct, begin, pos_, line);
+  }
+
+  const std::string& src_;
+  std::vector<Token>& tokens_;
+  std::vector<Comment>& comments_;
+  std::size_t pos_ = 0;
+  std::size_t line_start_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+TokenStream TokenStream::lex(std::string path, std::string contents) {
+  TokenStream out;
+  out.path_ = std::move(path);
+  out.source_ = std::move(contents);
+  Lexer(out.source_, out.tokens_, out.comments_).run();
+  return out;
+}
+
+bool TokenStream::lex_file(const std::string& path, TokenStream* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::string contents;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) contents.append(buf, n);
+  std::fclose(f);
+  *out = lex(path, std::move(contents));
+  return true;
+}
+
+}  // namespace netseer::lint

@@ -1,0 +1,252 @@
+// netseer_lint: hot-path discipline analyzer for the NetSeer tree.
+//
+// Three pass families over every given source file (see DESIGN.md "Static
+// analysis layer"):
+//   hot-alloc      NETSEER_HOT functions must not reach an allocation
+//                  through any same-TU call chain
+//   lock-blocking  no fsync/::write/cv-wait/NETSEER_BLOCKING call while a
+//                  lock is held, unless the caller is NETSEER_BLOCKING
+//   nodiscard / metric-name / raw-sync
+//                  discipline checks on status returns, telemetry metric
+//                  literals, and raw std::mutex/std::atomic in src/
+//
+// This binary uses the self-contained token-level frontend, which builds
+// with any C++20 toolchain and needs no clang libraries; configuring with
+// -DNETSEER_LINT_CLANG=ON adds the LibTooling frontend on top (same model,
+// same passes) for AST-exact analysis on CI's pinned clang-18.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "model.h"
+#include "passes.h"
+#include "telemetry/metrics.h"
+#include "telemetry/snapshot.h"
+
+namespace fs = std::filesystem;
+using netseer::lint::FileModel;
+using netseer::lint::Finding;
+using netseer::lint::PassOptions;
+using netseer::lint::TokenStream;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options] <file-or-dir>...\n"
+               "  --pass <name>         run only this pass (repeatable); one of\n"
+               "                        hot-alloc lock-blocking nodiscard metric-name raw-sync\n"
+               "  --fixture-mode        treat every file as first-party src/ code\n"
+               "  --check-expectations  findings must exactly match LINT-EXPECT comments\n"
+               "  --metrics-out <file>  export lint.* counters (.csv or .json)\n"
+               "  --frontend <name>     token (default) or clang (needs a build with\n"
+               "                        -DNETSEER_LINT_CLANG=ON)\n"
+               "  --extra-arg <flag>    extra compile flag for the clang frontend (repeatable)\n"
+               "  --quiet               suppress per-finding lines\n",
+               argv0);
+  return 2;
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+bool collect_inputs(const std::string& arg, std::vector<std::string>& files) {
+  std::error_code ec;
+  const fs::file_status st = fs::status(arg, ec);
+  if (ec) return false;
+  if (fs::is_directory(st)) {
+    for (fs::recursive_directory_iterator it(arg, ec), end; !ec && it != end;
+         it.increment(ec)) {
+      // Seeded-violation corpora (tests/lint/fixtures/) are scanned only
+      // when named directly, as the fixture ctest entries do; a directory
+      // walk over the tree must not report their planted findings.
+      if (it->is_directory(ec) && it->path().filename() == "fixtures") {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file(ec) && lintable(it->path())) {
+        files.push_back(it->path().string());
+      }
+    }
+    return true;
+  }
+  if (fs::is_regular_file(st)) {
+    files.push_back(arg);
+    return true;
+  }
+  return false;
+}
+
+/// Exact-match mode for the fixture suite: every LINT-EXPECT comment must
+/// produce a finding of that pass at that line, and no finding may lack an
+/// expectation. Prints the mismatches; returns true on exact match.
+bool check_expectations(const std::vector<FileModel>& models,
+                        const std::vector<Finding>& findings) {
+  std::map<std::pair<std::string, int>, std::multiset<std::string>> expected;
+  for (const FileModel& m : models) {
+    for (const auto& [line, pass] : m.expectations) {
+      expected[{m.path, line}].insert(pass);
+    }
+  }
+  bool ok = true;
+  for (const Finding& f : findings) {
+    auto it = expected.find({f.file, f.line});
+    if (it != expected.end()) {
+      const auto match = it->second.find(f.pass);
+      if (match != it->second.end()) {
+        it->second.erase(match);
+        continue;
+      }
+    }
+    std::printf("UNEXPECTED %s:%d: [%s] %s\n", f.file.c_str(), f.line, f.pass.c_str(),
+                f.message.c_str());
+    ok = false;
+  }
+  for (const auto& [where, passes] : expected) {
+    for (const std::string& pass : passes) {
+      std::printf("MISSING    %s:%d: expected a [%s] finding\n", where.first.c_str(),
+                  where.second, pass.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+void export_metrics(const std::string& path, const std::vector<FileModel>& models,
+                    const std::vector<Finding>& findings) {
+  netseer::telemetry::Registry reg;
+  std::size_t functions = 0;
+  std::size_t hot = 0;
+  for (const FileModel& m : models) {
+    for (const auto& fn : m.functions) {
+      ++functions;
+      if (fn.hot) ++hot;
+    }
+  }
+  reg.counter("lint", "files_scanned").add(models.size());
+  reg.counter("lint", "functions").add(functions);
+  reg.counter("lint", "hot_functions").add(hot);
+  reg.counter("lint", "findings_total").add(findings.size());
+  for (const Finding& f : findings) {
+    std::string pass = f.pass;
+    for (char& c : pass) {
+      if (c == '-') c = '_';
+    }
+    reg.counter("lint", "findings." + pass).add(1);
+  }
+  const auto snap = netseer::telemetry::MetricsSnapshot::capture(reg);
+  if (!snap.write_file(path)) {
+    std::fprintf(stderr, "netseer_lint: cannot write metrics to %s\n", path.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PassOptions options;
+  bool expectations = false;
+  bool quiet = false;
+  bool use_clang = false;
+  std::string metrics_out;
+  std::vector<std::string> inputs;
+  std::vector<std::string> extra_args;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fixture-mode") {
+      options.fixture_mode = true;
+    } else if (arg == "--check-expectations") {
+      expectations = true;
+      options.fixture_mode = true;  // fixtures live under tests/
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--pass" && i + 1 < argc) {
+      options.only.insert(argv[++i]);
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (arg == "--frontend" && i + 1 < argc) {
+      const std::string frontend = argv[++i];
+      if (frontend == "clang") {
+        use_clang = true;
+      } else if (frontend != "token") {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--extra-arg" && i + 1 < argc) {
+      extra_args.push_back(argv[++i]);
+    } else if (arg == "--help" || arg == "-h" || arg.rfind("--", 0) == 0) {
+      return usage(argv[0]);
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return usage(argv[0]);
+#if !NETSEER_LINT_HAVE_CLANG
+  if (use_clang) {
+    std::fprintf(stderr,
+                 "netseer_lint: this build has no clang frontend; reconfigure with "
+                 "-DNETSEER_LINT_CLANG=ON\n");
+    return 2;
+  }
+#endif
+
+  std::vector<std::string> files;
+  for (const std::string& in : inputs) {
+    if (!collect_inputs(in, files)) {
+      std::fprintf(stderr, "netseer_lint: cannot read %s\n", in.c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<FileModel> models;
+  models.reserve(files.size());
+  for (const std::string& f : files) {
+    TokenStream stream;
+    if (!TokenStream::lex_file(f, &stream)) {
+      std::fprintf(stderr, "netseer_lint: cannot read %s\n", f.c_str());
+      return 2;
+    }
+    models.push_back(netseer::lint::build_model(stream));
+#if NETSEER_LINT_HAVE_CLANG
+    // The token lex above still supplies the comment channels
+    // (suppressions, expectations); the parse replaces the facts.
+    if (use_clang && !netseer::lint::refine_model_clang(&models.back(), extra_args)) {
+      std::fprintf(stderr, "netseer_lint: clang frontend failed to parse %s\n", f.c_str());
+      return 2;
+    }
+#endif
+  }
+
+  const std::vector<Finding> findings = netseer::lint::run_passes(models, options);
+
+  if (!metrics_out.empty()) export_metrics(metrics_out, models, findings);
+
+  if (expectations) {
+    const bool ok = check_expectations(models, findings);
+    if (ok && !quiet) {
+      std::printf("netseer_lint: %zu finding(s) matched expectations across %zu file(s)\n",
+                  findings.size(), models.size());
+    }
+    return ok ? 0 : 1;
+  }
+
+  for (const Finding& f : findings) {
+    if (!quiet) {
+      std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.pass.c_str(),
+                  f.message.c_str());
+    }
+  }
+  if (!quiet) {
+    std::printf("netseer_lint: %zu finding(s) across %zu file(s)\n", findings.size(),
+                models.size());
+  }
+  return findings.empty() ? 0 : 1;
+}

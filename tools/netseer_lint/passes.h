@@ -1,0 +1,39 @@
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "model.h"
+
+namespace netseer::lint {
+
+/// Pass names, as they appear in diagnostics, NETSEER_LINT_ALLOW(...)
+/// suppressions, and LINT-EXPECT fixture comments.
+inline constexpr const char* kPassHotAlloc = "hot-alloc";
+inline constexpr const char* kPassLockBlocking = "lock-blocking";
+inline constexpr const char* kPassNodiscard = "nodiscard";
+inline constexpr const char* kPassMetricName = "metric-name";
+inline constexpr const char* kPassRawSync = "raw-sync";
+
+struct Finding {
+  std::string pass;
+  std::string file;
+  int line = 0;
+  std::string message;
+};
+
+struct PassOptions {
+  /// Treat every scanned file as first-party src/ (fixtures live under
+  /// tests/, where the path-scoped passes would otherwise stay quiet).
+  bool fixture_mode = false;
+  /// Restrict to these passes; empty means all five.
+  std::set<std::string> only;
+};
+
+/// Run all (selected) passes over the scanned files. Findings come back
+/// sorted by file, then line, then pass; suppressions are already applied.
+std::vector<Finding> run_passes(const std::vector<FileModel>& files,
+                                const PassOptions& options);
+
+}  // namespace netseer::lint
